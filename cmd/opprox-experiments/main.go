@@ -1,0 +1,72 @@
+// Command opprox-experiments regenerates every table and figure of the
+// paper's evaluation against the simulated substrates and prints them as
+// plain-text tables.
+//
+// Usage:
+//
+//	opprox-experiments                  # run everything (a few minutes)
+//	opprox-experiments -only fig14      # one artifact
+//	opprox-experiments -quick           # reduced sampling, for smoke runs
+//	opprox-experiments -list            # list artifact IDs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"opprox/internal/experiments"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("opprox-experiments: ")
+
+	only := flag.String("only", "", "comma-separated experiment IDs (default: all)")
+	quick := flag.Bool("quick", false, "reduced sampling for fast smoke runs")
+	seed := flag.Int64("seed", 1, "suite seed")
+	list := flag.Bool("list", false, "list experiment IDs and exit")
+	format := flag.String("format", "text", "output format: text or csv")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Println(e.ID)
+		}
+		return
+	}
+
+	suite := experiments.NewSuite(*seed, *quick)
+	var selected []experiments.Experiment
+	if *only == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			e, ok := experiments.ByID(strings.TrimSpace(id))
+			if !ok {
+				log.Fatalf("unknown experiment %q (try -list)", id)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	start := time.Now()
+	for _, e := range selected {
+		t0 := time.Now()
+		tab, err := e.Run(suite)
+		if err != nil {
+			log.Fatalf("%s: %v", e.ID, err)
+		}
+		switch *format {
+		case "csv":
+			fmt.Printf("# %s: %s\n%s\n", tab.ID, tab.Title, tab.RenderCSV())
+		default:
+			fmt.Println(tab.Render())
+		}
+		fmt.Fprintf(os.Stderr, "[%s took %s]\n", e.ID, time.Since(t0).Round(time.Millisecond))
+	}
+	fmt.Fprintf(os.Stderr, "total: %s\n", time.Since(start).Round(time.Millisecond))
+}

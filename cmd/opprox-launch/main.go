@@ -1,0 +1,69 @@
+// Command opprox-launch is the runtime half of the paper's deployment
+// flow (§4.2): given a job configuration file naming the stored models and
+// an error budget, it loads the models, finds the best phase-specific
+// approximation settings, and prints the environment-variable assignments
+// the job should be launched with (the scheduler integration point).
+//
+// Usage:
+//
+//	opprox-launch job.json
+//
+// where job.json looks like:
+//
+//	{
+//	  "app": "lulesh",
+//	  "budget": 10,
+//	  "params": {"mesh": 64, "regions": 2},
+//	  "model_path": "lulesh-models.json"
+//	}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"opprox/internal/launch"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("opprox-launch: ")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: opprox-launch <job-config.json>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	cfgFile, err := os.Open(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer cfgFile.Close()
+	cfg, err := launch.ParseJobConfig(cfgFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	models, err := os.Open(cfg.ModelPath)
+	if err != nil {
+		log.Fatalf("opening models: %v", err)
+	}
+	defer models.Close()
+
+	plan, err := launch.Dispatch(cfg, models)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Fprintf(os.Stderr, "app %s, budget %.3g: predicted %.3fx speedup at %.2f degradation (optimized in %s)\n",
+		cfg.App, cfg.Budget, plan.Pred.Speedup, plan.Pred.Degradation, plan.Pred.OptimizeTime)
+	for _, kv := range plan.Env {
+		fmt.Println(kv)
+	}
+}

@@ -1,0 +1,74 @@
+// lulesh-blast demonstrates the phenomenon the paper opens with: the same
+// approximation applied in different execution phases of a shock
+// hydrodynamics simulation produces wildly different error — and can even
+// change how many timesteps the simulation takes.
+//
+//	go run ./examples/lulesh-blast
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"opprox"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	app := opprox.LULESH()
+	runner := opprox.NewRunner(app)
+	params := opprox.DefaultParams(app)
+
+	golden, err := runner.Golden(params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("accurate run: %d Courant-limited timesteps, %d work units\n\n",
+		golden.OuterIters, golden.Work)
+
+	// Apply a moderately aggressive setting to one quarter of the
+	// execution at a time (the paper's Figs. 4 and 5).
+	cfg := opprox.Config{3, 3, 3, 3} // forces, positions, strain, timeconstraints
+	fmt.Printf("config %v applied to one phase of four at a time:\n", cfg)
+	fmt.Printf("%-10s  %12s  %10s  %10s\n", "phase", "degradation", "speedup", "timesteps")
+	for ph := 0; ph < 4; ph++ {
+		ev, err := runner.Evaluate(params, opprox.SinglePhaseSchedule(4, ph, cfg))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10d  %11.2f%%  %9.3fx  %10d\n", ph+1, ev.Degradation, ev.Speedup, ev.OuterIters)
+	}
+	full, err := runner.Evaluate(params, opprox.UniformSchedule(1, cfg))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-10s  %11.2f%%  %9.3fx  %10d\n\n", "all", full.Degradation, full.Speedup, full.OuterIters)
+	fmt.Println("early phases carry the strong shock: approximating there compounds;")
+	fmt.Println("the final phase is nearly settled, so the same knob is almost free.")
+
+	// Now let OPPROX exploit that structure under a 10% budget.
+	fmt.Println("\ntraining OPPROX...")
+	sys := &opprox.System{Runner: runner}
+	opts := opprox.DefaultOptions()
+	opts.Phases = 4
+	if err := sys.Train(opts); err != nil {
+		log.Fatal(err)
+	}
+	sched, _, err := sys.Optimize(params, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := sys.Evaluate(params, sched)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("OPPROX schedule: %s\n", sched)
+	fmt.Printf("measured: %.3fx speedup at %.2f%% degradation (budget 10%%)\n", ev.Speedup, ev.Degradation)
+
+	or, err := opprox.PhaseAgnosticOracle(runner, params, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("best phase-agnostic setting (exhaustive): %.3fx at %.2f%%\n", or.Speedup, or.Degradation)
+}

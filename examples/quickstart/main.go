@@ -1,0 +1,57 @@
+// Quickstart: train OPPROX on the PSO benchmark, ask for a schedule under
+// a 10% error budget, and measure what the schedule actually does.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"opprox"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Pick an application. PSO is the fastest to train on: a particle
+	//    swarm minimizing Rosenbrock inside a convergence loop.
+	app := opprox.PSO()
+	sys := opprox.New(app)
+
+	// 2. Offline training: sample the application across representative
+	//    inputs, identify phases, fit per-phase speedup/QoS models.
+	opts := opprox.DefaultOptions()
+	opts.Phases = 4 // skip the granularity search for a faster demo
+	fmt.Println("training (a few seconds of sampling)...")
+	if err := sys.Train(opts); err != nil {
+		log.Fatal(err)
+	}
+	sR2, dR2 := sys.Models.ModelQuality()
+	fmt.Printf("trained on %d runs; model R²: speedup %.2f, degradation %.2f\n\n",
+		len(sys.Models.Records), sR2, dR2)
+
+	// 3. Ask for the most profitable phase-aware schedule under a 10%
+	//    QoS-degradation budget.
+	params := opprox.DefaultParams(app)
+	sched, pred, err := sys.Optimize(params, 10)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("schedule (blocks: fitness, velocity, position):\n")
+	for ph, cfg := range sched.Levels {
+		fmt.Printf("  phase %d: levels %s\n", ph+1, cfg)
+	}
+	fmt.Printf("predicted: %.2fx speedup at %.1f%% degradation\n\n", pred.Speedup, pred.Degradation)
+
+	// 4. Run the schedule for real and compare against the exact run.
+	ev, err := sys.Evaluate(params, sched)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("measured:  %.2fx speedup (%.0f%% of the exact run's work) at %.1f%% degradation\n",
+		ev.Speedup, 100/ev.Speedup, ev.Degradation)
+	if ev.Degradation <= 10 {
+		fmt.Println("the budget held.")
+	}
+}

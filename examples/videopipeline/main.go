@@ -1,0 +1,67 @@
+// videopipeline demonstrates OPPROX on the streaming benchmark: a video
+// filter chain with a rate-controlled delta encoder, where errors in early
+// frames poison the rest of the stream and the filter order is part of the
+// input-dependent control flow.
+//
+//	go run ./examples/videopipeline
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"opprox"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	app := opprox.FFmpeg()
+	runner := opprox.NewRunner(app)
+
+	// Input-dependent control flow: the filter order parameter changes
+	// the sequence of approximable blocks (the paper's Fig. 7/8).
+	for _, order := range []float64{0, 1} {
+		p := opprox.DefaultParams(app)
+		p["filterorder"] = order
+		g, err := runner.Golden(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("filterorder=%v: control flow %q, %d frames\n", order, g.CtxSig, g.OuterIters)
+	}
+
+	// Phase sensitivity: corrupting the opening frames (fast motion, the
+	// encoder is establishing references) costs far more PSNR than
+	// corrupting the settled tail.
+	params := opprox.DefaultParams(app)
+	cfg := opprox.Config{5, 5, 3} // edge, deflate, encode at max
+	fmt.Printf("\nconfig %v per phase (PSNR vs exact pipeline; higher is better):\n", cfg)
+	for ph := 0; ph < 4; ph++ {
+		ev, err := runner.Evaluate(params, opprox.SinglePhaseSchedule(4, ph, cfg))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  phase %d: PSNR %5.1f dB, speedup %.3fx\n", ph+1, 50-ev.Degradation, ev.Speedup)
+	}
+
+	// Train and optimize for a target of PSNR >= 35 dB.
+	fmt.Println("\ntraining OPPROX...")
+	sys := &opprox.System{Runner: runner}
+	opts := opprox.DefaultOptions()
+	opts.Phases = 4
+	if err := sys.Train(opts); err != nil {
+		log.Fatal(err)
+	}
+	budget := 50.0 - 35.0 // degradation = PSNRCap - target
+	sched, _, err := sys.Optimize(params, budget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ev, err := sys.Evaluate(params, sched)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("OPPROX schedule for PSNR >= 35 dB: %s\n", sched)
+	fmt.Printf("measured: %.3fx speedup at PSNR %.1f dB\n", ev.Speedup, 50-ev.Degradation)
+}

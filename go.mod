@@ -1,0 +1,3 @@
+module opprox
+
+go 1.23

@@ -1,0 +1,136 @@
+// Package approx implements the four approximation techniques the paper
+// evaluates (§3.2) — loop perforation, loop truncation, memoization, and
+// parameter tuning — plus the configuration and per-phase schedule types
+// that tie a technique's discrete approximation level (AL) knob to an
+// application's approximable blocks (ABs).
+//
+// Every technique is the identity at level 0 (the accurate run) and
+// degrades monotonically as the level rises to the block's MaxLevel.
+package approx
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Technique identifies one of the paper's approximation transformations.
+type Technique int
+
+const (
+	// Perforation skips loop iterations with stride level+1 (§3.2,
+	// Sidiroglou et al. FSE'11): level 0 runs every iteration, level 1
+	// every second, and so on. The result space is effectively sampled.
+	Perforation Technique = iota
+	// Truncation drops trailing loop iterations: at the block's maximum
+	// level half of the loop is dropped, scaling linearly in between.
+	Truncation
+	// Memoization computes and caches the body every level+1 iterations
+	// and reuses the cached result in between (Chaudhuri et al. FSE'11).
+	Memoization
+	// ParamTuning does not transform a loop; it maps the level onto an
+	// accuracy-controlling input parameter (e.g. Bodytrack's
+	// min-particles), interpolating from the accurate value at level 0 to
+	// a most-aggressive value at MaxLevel (Hoffmann et al. ASPLOS'11).
+	ParamTuning
+)
+
+// String returns the technique name used in reports.
+func (t Technique) String() string {
+	switch t {
+	case Perforation:
+		return "loop perforation"
+	case Truncation:
+		return "loop truncation"
+	case Memoization:
+		return "memoization"
+	case ParamTuning:
+		return "parameter tuning"
+	default:
+		return fmt.Sprintf("Technique(%d)", int(t))
+	}
+}
+
+// Block describes one approximable block of an application.
+type Block struct {
+	Name      string
+	Technique Technique
+	// MaxLevel is the largest valid AL; valid levels are 0..MaxLevel.
+	MaxLevel int
+}
+
+// Levels returns the number of valid approximation levels (MaxLevel+1).
+func (b Block) Levels() int { return b.MaxLevel + 1 }
+
+// Config assigns one approximation level to each block of an application,
+// in block order.
+type Config []int
+
+// Clone returns a copy of the configuration.
+func (c Config) Clone() Config {
+	out := make(Config, len(c))
+	copy(out, c)
+	return out
+}
+
+// IsAccurate reports whether every level is 0.
+func (c Config) IsAccurate() bool {
+	for _, l := range c {
+		if l != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the config against the block descriptors.
+func (c Config) Validate(blocks []Block) error {
+	if len(c) != len(blocks) {
+		return fmt.Errorf("approx: config has %d levels for %d blocks", len(c), len(blocks))
+	}
+	for i, l := range c {
+		if l < 0 || l > blocks[i].MaxLevel {
+			return fmt.Errorf("approx: level %d out of range [0,%d] for block %q", l, blocks[i].MaxLevel, blocks[i].Name)
+		}
+	}
+	return nil
+}
+
+// String renders the config like "[2 0 1 3]".
+func (c Config) String() string {
+	parts := make([]string, len(c))
+	for i, l := range c {
+		parts[i] = fmt.Sprint(l)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// NumConfigs returns the size of the AL search space over the given
+// blocks: the product of per-block level counts.
+func NumConfigs(blocks []Block) int {
+	n := 1
+	for _, b := range blocks {
+		n *= b.Levels()
+	}
+	return n
+}
+
+// EnumerateConfigs calls fn for every AL configuration over blocks, in
+// lexicographic order. fn returning false stops the enumeration early.
+func EnumerateConfigs(blocks []Block, fn func(Config) bool) {
+	cfg := make(Config, len(blocks))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(blocks) {
+			return fn(cfg.Clone())
+		}
+		for l := 0; l <= blocks[i].MaxLevel; l++ {
+			cfg[i] = l
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		cfg[i] = 0
+		return true
+	}
+	rec(0)
+}

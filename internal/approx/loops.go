@@ -1,0 +1,203 @@
+package approx
+
+import "math"
+
+// This file contains the executable forms of the loop-level techniques.
+// Each executor is the identity at level 0, reduces work monotonically in
+// the level, and reports how many body invocations actually ran so callers
+// can charge the right amount of abstract work.
+
+// Perforate runs body for i = 0, s, 2s, ... with stride s = level+1
+// (paper §3.2's loop perforation with the accurate run at level 0).
+// It returns the number of iterations executed.
+func Perforate(n, level int, body func(i int)) int {
+	if n <= 0 {
+		return 0
+	}
+	if level < 0 {
+		level = 0
+	}
+	stride := level + 1
+	count := 0
+	for i := 0; i < n; i += stride {
+		body(i)
+		count++
+	}
+	return count
+}
+
+// PerforateRotating is Perforate with a rotating offset: it executes the
+// iterations where (i + offset) % (level+1) == 0. Rotating the offset from
+// one outer-loop pass to the next spreads the skipped work evenly instead
+// of starving the same indices forever — the interleaved variant of loop
+// perforation from Sidiroglou et al. (FSE'11). Returns the number of
+// iterations executed.
+func PerforateRotating(n, level, offset int, body func(i int)) int {
+	if n <= 0 {
+		return 0
+	}
+	if level < 0 {
+		level = 0
+	}
+	stride := level + 1
+	first := ((-offset)%stride + stride) % stride
+	count := 0
+	for i := first; i < n; i += stride {
+		body(i)
+		count++
+	}
+	return count
+}
+
+// PerforatedCount returns the number of iterations Perforate(n, level)
+// would execute, without running anything.
+func PerforatedCount(n, level int) int {
+	if n <= 0 {
+		return 0
+	}
+	if level < 0 {
+		level = 0
+	}
+	stride := level + 1
+	return (n + stride - 1) / stride
+}
+
+// PerforateFraction is the rate-parameterized form of loop perforation:
+// at level L out of maxLevel, the fraction L/(maxLevel+1) of iterations is
+// skipped, spread evenly across the index space (iteration i is skipped
+// when (i+offset) % (maxLevel+1) < L). Level 0 runs everything; the
+// skipped fraction grows linearly in the level, which gives smoothly
+// graded accuracy loss where stride-based perforation jumps straight to
+// skipping half the loop at level 1. Returns the number of iterations
+// executed.
+func PerforateFraction(n, level, maxLevel, offset int, body func(i int)) int {
+	if n <= 0 {
+		return 0
+	}
+	if maxLevel < 1 {
+		maxLevel = 1
+	}
+	if level < 0 {
+		level = 0
+	}
+	if level > maxLevel {
+		level = maxLevel
+	}
+	period := maxLevel + 1
+	count := 0
+	for i := 0; i < n; i++ {
+		if m := ((i+offset)%period + period) % period; m < level {
+			continue
+		}
+		body(i)
+		count++
+	}
+	return count
+}
+
+// Truncate runs body for the first keep iterations where keep shrinks
+// linearly from n at level 0 to n/2 at maxLevel (the paper drops "the last
+// few iterations"; scaling by the level keeps the knob meaningful for
+// loops of any trip count). Returns the number of iterations executed.
+func Truncate(n, level, maxLevel int, body func(i int)) int {
+	keep := TruncatedCount(n, level, maxLevel)
+	for i := 0; i < keep; i++ {
+		body(i)
+	}
+	return keep
+}
+
+// TruncatedCount returns the number of iterations Truncate would keep.
+func TruncatedCount(n, level, maxLevel int) int {
+	if n <= 0 {
+		return 0
+	}
+	if level <= 0 || maxLevel <= 0 {
+		return n
+	}
+	if level > maxLevel {
+		level = maxLevel
+	}
+	drop := n * level / (2 * maxLevel)
+	keep := n - drop
+	if keep < 1 {
+		keep = 1
+	}
+	return keep
+}
+
+// Memoize runs a loop of n iterations where compute is invoked only on
+// iterations divisible by level+1 and reuse is invoked on the rest with
+// the index of the most recent computed iteration (paper §3.2's
+// memoization: cached results stand in for recomputation). Returns the
+// number of compute invocations.
+func Memoize(n, level int, compute func(i int), reuse func(i, cachedFrom int)) int {
+	if n <= 0 {
+		return 0
+	}
+	if level < 0 {
+		level = 0
+	}
+	period := level + 1
+	computed := 0
+	last := -1
+	for i := 0; i < n; i++ {
+		if i%period == 0 {
+			compute(i)
+			last = i
+			computed++
+		} else {
+			reuse(i, last)
+		}
+	}
+	return computed
+}
+
+// MemoizedCount returns the number of compute invocations Memoize performs.
+func MemoizedCount(n, level int) int {
+	return PerforatedCount(n, level)
+}
+
+// TunedValue implements parameter tuning: it interpolates an
+// accuracy-controlling parameter from its accurate value at level 0 to the
+// most aggressive value at maxLevel.
+func TunedValue(accurate, aggressive float64, level, maxLevel int) float64 {
+	if level <= 0 || maxLevel <= 0 {
+		return accurate
+	}
+	if level > maxLevel {
+		level = maxLevel
+	}
+	f := float64(level) / float64(maxLevel)
+	return accurate + (aggressive-accurate)*f
+}
+
+// ReducePrecision implements precision scaling, a fifth technique
+// available to custom applications: it rounds v to a reduced-precision
+// mantissa. Level 0 returns v unchanged; each level discards
+// proportionally more of float64's 52 mantissa bits, down to 12 surviving
+// bits at the maximum level (roughly half-precision arithmetic emulated on
+// float64 storage). Approximate-computing hardware proposals expose
+// exactly this knob; in software it models reduced-precision kernels.
+func ReducePrecision(v float64, level, maxLevel int) float64 {
+	if level <= 0 || maxLevel <= 0 {
+		return v
+	}
+	if level > maxLevel {
+		level = maxLevel
+	}
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return v
+	}
+	// Mantissa bits retained: 52 at level 0 down to 12 at maxLevel.
+	keep := 52 - (40*level)/maxLevel
+	drop := uint(52 - keep)
+	bits := math.Float64bits(v)
+	// Adding half a ULP of the reduced precision to the raw bit pattern
+	// rounds to nearest, carrying into the exponent when the mantissa
+	// overflows (the IEEE-754 bit layout makes the carry land exactly
+	// where it should). Clearing the dropped bits then truncates.
+	bits += uint64(1) << (drop - 1)
+	bits &^= (uint64(1) << drop) - 1
+	return math.Float64frombits(bits)
+}

@@ -1,0 +1,180 @@
+package approx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPerforateRotatingCoversAllIndicesOverCycle(t *testing.T) {
+	// Over stride consecutive offsets, every index runs exactly once.
+	n, level := 10, 2
+	stride := level + 1
+	counts := make([]int, n)
+	for off := 0; off < stride; off++ {
+		PerforateRotating(n, level, off, func(i int) { counts[i]++ })
+	}
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("index %d ran %d times over a full cycle, want 1", i, c)
+		}
+	}
+}
+
+func TestPerforateRotatingLevelZero(t *testing.T) {
+	ran := 0
+	if got := PerforateRotating(7, 0, 3, func(int) { ran++ }); got != 7 || ran != 7 {
+		t.Fatalf("level 0 ran %d, want 7", ran)
+	}
+}
+
+func TestPerforateRotatingNegativeOffset(t *testing.T) {
+	var idx []int
+	PerforateRotating(9, 2, -1, func(i int) { idx = append(idx, i) })
+	// stride 3, offset -1 → first index with (i-1)%3==0 is 1.
+	if len(idx) == 0 || idx[0] != 1 {
+		t.Fatalf("indices = %v, want first 1", idx)
+	}
+}
+
+func TestPerforateRotatingMatchesPlainAtOffsetZero(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n, level := rng.Intn(100), rng.Intn(6)
+		var a, b []int
+		Perforate(n, level, func(i int) { a = append(a, i) })
+		PerforateRotating(n, level, 0, func(i int) { b = append(b, i) })
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPerforateFractionLevels(t *testing.T) {
+	n, maxLevel := 70, 6
+	prev := n + 1
+	for level := 0; level <= maxLevel; level++ {
+		ran := PerforateFraction(n, level, maxLevel, 0, func(int) {})
+		if ran > prev {
+			t.Fatalf("level %d ran %d > previous %d (not monotone)", level, ran, prev)
+		}
+		prev = ran
+	}
+	if got := PerforateFraction(n, 0, maxLevel, 5, func(int) {}); got != n {
+		t.Fatalf("level 0 ran %d, want all %d", got, n)
+	}
+	// At level == maxLevel, 1/(maxLevel+1) of iterations survive.
+	got := PerforateFraction(70, 6, 6, 0, func(int) {})
+	if got != 10 {
+		t.Fatalf("max level ran %d, want 10", got)
+	}
+}
+
+func TestPerforateFractionSkipRate(t *testing.T) {
+	// Fraction skipped should be level/(maxLevel+1) for aligned n.
+	n, maxLevel := 700, 6
+	for level := 0; level <= maxLevel; level++ {
+		ran := PerforateFraction(n, level, maxLevel, 0, func(int) {})
+		want := n - n*level/(maxLevel+1)
+		if ran != want {
+			t.Fatalf("level %d ran %d, want %d", level, ran, want)
+		}
+	}
+}
+
+func TestPerforateFractionClampsAndEdgeCases(t *testing.T) {
+	if PerforateFraction(0, 3, 5, 0, func(int) {}) != 0 {
+		t.Fatal("empty loop should run 0")
+	}
+	if PerforateFraction(10, -1, 5, 0, func(int) {}) != 10 {
+		t.Fatal("negative level should clamp to accurate")
+	}
+	if PerforateFraction(12, 9, 5, 0, func(int) {}) != PerforateFraction(12, 5, 5, 0, func(int) {}) {
+		t.Fatal("level above max should clamp")
+	}
+	// maxLevel < 1 must not panic or divide by zero.
+	if PerforateFraction(10, 1, 0, 0, func(int) {}) < 1 {
+		t.Fatal("degenerate maxLevel should still run something")
+	}
+}
+
+func TestPerforateFractionOffsetRotation(t *testing.T) {
+	// Across maxLevel+1 consecutive offsets every index is skipped the
+	// same number of times.
+	n, level, maxLevel := 14, 3, 6
+	counts := make([]int, n)
+	for off := 0; off <= maxLevel; off++ {
+		PerforateFraction(n, level, maxLevel, off, func(i int) { counts[i]++ })
+	}
+	for i, c := range counts {
+		if c != maxLevel+1-level {
+			t.Fatalf("index %d ran %d times, want %d", i, c, maxLevel+1-level)
+		}
+	}
+}
+
+func TestReducePrecisionIdentityAtZero(t *testing.T) {
+	for _, v := range []float64{0, 1, -3.14159, 1e-12, 1e20} {
+		if got := ReducePrecision(v, 0, 5); got != v {
+			t.Fatalf("level 0 changed %g to %g", v, got)
+		}
+	}
+}
+
+func TestReducePrecisionMonotoneError(t *testing.T) {
+	v := 1.0/3.0 + 1e5 // plenty of mantissa content
+	prev := 0.0
+	for lv := 1; lv <= 5; lv++ {
+		err := mathAbs(ReducePrecision(v, lv, 5) - v)
+		if err+1e-18 < prev {
+			t.Fatalf("error not monotone at level %d: %g < %g", lv, err, prev)
+		}
+		prev = err
+	}
+	if prev == 0 {
+		t.Fatal("max level should introduce some rounding error")
+	}
+}
+
+func TestReducePrecisionRelativeErrorBounded(t *testing.T) {
+	// At max level 12 mantissa bits survive: relative error <= 2^-12ish.
+	for _, v := range []float64{1.2345678, -9876.54321, 3.3e-7, 7.7e11} {
+		got := ReducePrecision(v, 5, 5)
+		rel := mathAbs(got-v) / mathAbs(v)
+		if rel > 1.0/4096 {
+			t.Fatalf("relative error %g for %g exceeds 2^-12", rel, v)
+		}
+	}
+}
+
+func TestReducePrecisionSpecials(t *testing.T) {
+	if got := ReducePrecision(0, 5, 5); got != 0 {
+		t.Fatalf("zero became %g", got)
+	}
+	if !mathIsNaN(ReducePrecision(mathNaN(), 3, 5)) {
+		t.Fatal("NaN should pass through")
+	}
+	if got := ReducePrecision(mathInf(), 3, 5); !mathIsInf(got) {
+		t.Fatalf("Inf became %g", got)
+	}
+	if got := ReducePrecision(1.5, 9, 5); got != ReducePrecision(1.5, 5, 5) {
+		t.Fatal("level above max should clamp")
+	}
+}
+
+// small math helpers to keep the test file stdlib-flat.
+func mathAbs(v float64) float64 { return math.Abs(v) }
+func mathNaN() float64          { return math.NaN() }
+func mathInf() float64          { return math.Inf(1) }
+func mathIsNaN(v float64) bool  { return math.IsNaN(v) }
+func mathIsInf(v float64) bool  { return math.IsInf(v, 0) }

@@ -1,0 +1,221 @@
+// Package apps defines the contract between OPPROX and an application
+// under optimization, plus the run harness (golden-run caching, QoS and
+// speedup evaluation) shared by the five benchmark applications from the
+// paper's evaluation (§4.1): LULESH, CoMD, FFmpeg (vidpipe), Bodytrack
+// (tracker), and PSO.
+package apps
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"sort"
+	"sync"
+
+	"opprox/internal/approx"
+	"opprox/internal/trace"
+)
+
+// ParamSpec describes one application input parameter and the
+// representative values the training inputs draw from (paper §3.1: the
+// user provides representative inputs that exercise the desired
+// functionality).
+type ParamSpec struct {
+	Name string
+	// Values are the representative settings used for training.
+	Values []float64
+	// Default is the target production setting experiments report on.
+	Default float64
+}
+
+// Params maps parameter names to concrete values for one run.
+type Params map[string]float64
+
+// Clone returns a copy of p.
+func (p Params) Clone() Params {
+	out := make(Params, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// Key returns a canonical string form of p, usable as a cache key.
+func (p Params) Key() string {
+	names := make([]string, 0, len(p))
+	for k := range p {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	s := ""
+	for _, k := range names {
+		s += fmt.Sprintf("%s=%g;", k, p[k])
+	}
+	return s
+}
+
+// Vector flattens p into a feature vector following the order of specs.
+func (p Params) Vector(specs []ParamSpec) []float64 {
+	out := make([]float64, len(specs))
+	for i, s := range specs {
+		if v, ok := p[s.Name]; ok {
+			out[i] = v
+		} else {
+			out[i] = s.Default
+		}
+	}
+	return out
+}
+
+// DefaultParams builds the default parameter set for an app.
+func DefaultParams(a App) Params {
+	p := make(Params)
+	for _, s := range a.Params() {
+		p[s.Name] = s.Default
+	}
+	return p
+}
+
+// Result is the observable outcome of one application run.
+type Result struct {
+	// Output is the application's final answer, in a fixed layout the
+	// app's QoS metric understands.
+	Output []float64
+	// Work is the abstract instruction count of the run.
+	Work uint64
+	// OuterIters is the number of outer-loop iterations executed.
+	OuterIters int
+	// CtxSig is the control-flow signature (ordered AB sequence of the
+	// first outer iteration).
+	CtxSig string
+}
+
+// App is the contract OPPROX requires from an application: named
+// approximable blocks with discrete levels, declared input parameters, a
+// phase-schedulable run entry point, and a QoS metric.
+type App interface {
+	// Name identifies the application in reports.
+	Name() string
+	// Blocks lists the approximable blocks in a fixed order.
+	Blocks() []approx.Block
+	// Params lists the input parameters and their representative values.
+	Params() []ParamSpec
+	// Run executes the application. sched supplies the per-phase AL
+	// configuration; baselineIters is the accurate-run outer-loop
+	// iteration count used to lay phases out (pass 0 when unknown, e.g.
+	// for the golden run itself — with an accurate schedule the phase
+	// layout is irrelevant).
+	Run(p Params, sched approx.Schedule, baselineIters int) (Result, error)
+	// QoS returns the degradation (percent-like, 0 = identical, larger =
+	// worse) of an approximate output versus the exact output.
+	QoS(exact, approximate []float64) (float64, error)
+}
+
+// Seed derives a deterministic RNG seed from an app name and parameters,
+// so the golden run and every approximate run of the same input see
+// identical synthetic data.
+func Seed(appName string, p Params) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(appName))
+	h.Write([]byte(p.Key()))
+	return int64(h.Sum64() & math.MaxInt64)
+}
+
+// Noise returns a deterministic pseudo-random value in [-1, 1) keyed by a
+// seed and a tuple of indices (splitmix64 finalizer). Apps use it to
+// synthesize observation noise that is a pure function of the input — the
+// same for the golden run and every approximate run, no matter how many
+// draws each consumed from its algorithmic RNG stream.
+func Noise(seed int64, idx ...int64) float64 {
+	x := uint64(seed)
+	for _, v := range idx {
+		x ^= uint64(v) + 0x9e3779b97f4a7c15
+		x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+		x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+		x ^= x >> 31
+	}
+	// Map the top 53 bits to [0,1), then shift to [-1,1).
+	return float64(x>>11)/float64(1<<53)*2 - 1
+}
+
+// Eval is a fully scored run: the raw result plus its comparison against
+// the golden (accurate) run of the same parameters.
+type Eval struct {
+	Result
+	Golden *Result
+	// Degradation is the QoS degradation versus the golden run.
+	Degradation float64
+	// Speedup is goldenWork/work (>1 is faster, <1 backfired).
+	Speedup float64
+	// WorkSavedPct is 100·(1-work/goldenWork).
+	WorkSavedPct float64
+}
+
+// Runner caches golden runs per parameter set and scores approximate runs
+// against them.
+type Runner struct {
+	App App
+
+	mu     sync.Mutex
+	golden map[string]*Result
+}
+
+// NewRunner returns a Runner for app.
+func NewRunner(app App) *Runner {
+	return &Runner{App: app, golden: make(map[string]*Result)}
+}
+
+// Golden returns the accurate run for p, computing and caching it on first
+// use.
+func (r *Runner) Golden(p Params) (*Result, error) {
+	key := p.Key()
+	r.mu.Lock()
+	g, ok := r.golden[key]
+	r.mu.Unlock()
+	if ok {
+		return g, nil
+	}
+	res, err := r.App.Run(p, approx.AccurateSchedule(len(r.App.Blocks())), 0)
+	if err != nil {
+		return nil, fmt.Errorf("golden run of %s: %w", r.App.Name(), err)
+	}
+	r.mu.Lock()
+	r.golden[key] = &res
+	r.mu.Unlock()
+	return &res, nil
+}
+
+// Evaluate runs the app under sched and scores it against the golden run.
+func (r *Runner) Evaluate(p Params, sched approx.Schedule) (*Eval, error) {
+	if err := sched.Validate(r.App.Blocks()); err != nil {
+		return nil, err
+	}
+	g, err := r.Golden(p)
+	if err != nil {
+		return nil, err
+	}
+	res, err := r.App.Run(p, sched, g.OuterIters)
+	if err != nil {
+		return nil, fmt.Errorf("run of %s under %s: %w", r.App.Name(), sched, err)
+	}
+	deg, err := r.App.QoS(g.Output, res.Output)
+	if err != nil {
+		return nil, fmt.Errorf("qos of %s: %w", r.App.Name(), err)
+	}
+	// Guard the models against pathological blowups (NaN from an unstable
+	// approximate run): report a large-but-finite degradation instead.
+	if math.IsNaN(deg) || deg > MaxDegradation {
+		deg = MaxDegradation
+	}
+	return &Eval{
+		Result:       res,
+		Golden:       g,
+		Degradation:  deg,
+		Speedup:      trace.Speedup(g.Work, res.Work),
+		WorkSavedPct: trace.WorkSavedPercent(g.Work, res.Work),
+	}, nil
+}
+
+// MaxDegradation caps reported QoS degradation; beyond this the output is
+// unusable anyway and unbounded values would destabilize regression.
+const MaxDegradation = 200.0

@@ -1,0 +1,92 @@
+package apps
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestParamsCloneIndependent(t *testing.T) {
+	p := Params{"a": 1, "b": 2}
+	q := p.Clone()
+	q["a"] = 9
+	if p["a"] != 1 {
+		t.Fatal("Clone must copy")
+	}
+}
+
+func TestParamsKeyCanonical(t *testing.T) {
+	p := Params{"b": 2, "a": 1}
+	q := Params{"a": 1, "b": 2}
+	if p.Key() != q.Key() {
+		t.Fatalf("keys differ: %q vs %q", p.Key(), q.Key())
+	}
+	r := Params{"a": 1, "b": 3}
+	if p.Key() == r.Key() {
+		t.Fatal("different values share a key")
+	}
+}
+
+func TestParamsVector(t *testing.T) {
+	specs := []ParamSpec{
+		{Name: "x", Default: 10},
+		{Name: "y", Default: 20},
+	}
+	v := Params{"x": 1}.Vector(specs)
+	if v[0] != 1 || v[1] != 20 {
+		t.Fatalf("Vector = %v, want [1 20] (missing param falls back to default)", v)
+	}
+}
+
+func TestSeedDeterministicAndDistinct(t *testing.T) {
+	p := Params{"a": 1}
+	if Seed("app", p) != Seed("app", p) {
+		t.Fatal("Seed not deterministic")
+	}
+	if Seed("app", p) == Seed("other", p) {
+		t.Fatal("Seed ignores app name")
+	}
+	if Seed("app", p) == Seed("app", Params{"a": 2}) {
+		t.Fatal("Seed ignores params")
+	}
+	if Seed("app", p) < 0 {
+		t.Fatal("Seed must be non-negative")
+	}
+}
+
+func TestNoiseProperties(t *testing.T) {
+	f := func(seed, a, b int64) bool {
+		v := Noise(seed, a, b)
+		if v < -1 || v >= 1 || math.IsNaN(v) {
+			return false
+		}
+		// Deterministic.
+		return v == Noise(seed, a, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNoiseIsRoughlyUniform(t *testing.T) {
+	neg, pos := 0, 0
+	for i := int64(0); i < 2000; i++ {
+		if Noise(42, i) < 0 {
+			neg++
+		} else {
+			pos++
+		}
+	}
+	if neg < 800 || pos < 800 {
+		t.Fatalf("noise badly skewed: %d negative, %d positive", neg, pos)
+	}
+}
+
+func TestNoiseIndexSensitivity(t *testing.T) {
+	if Noise(1, 2, 3) == Noise(1, 3, 2) {
+		t.Fatal("noise should depend on index order")
+	}
+	if Noise(1, 2) == Noise(2, 2) {
+		t.Fatal("noise should depend on seed")
+	}
+}

@@ -1,0 +1,294 @@
+// Package tracker implements the computer-vision benchmark modeled on
+// PARSEC's Bodytrack (paper §4.1): an annealed particle filter tracks an
+// articulated pose through a sequence of video frames. The outer loop
+// enumerates (frame, annealing-layer) pairs; its iteration count is set by
+// the frame count and the number of annealing layers, but — as the paper
+// notes — when the min-particles threshold is small, the iteration count
+// also starts to depend on the approximation levels, because degenerate
+// particle weights trigger refinement repeats.
+//
+// Approximable blocks (paper Table 1: loop perforation, input tuning):
+//
+//	likelihood  — loop perforation over particles: skipped particles keep
+//	              their previous weight.
+//	features    — loop perforation over image rows during feature
+//	              extraction: the estimate is rescaled from the sampled
+//	              rows, trading noise for work.
+//	minparticles — parameter tuning of the min-particles threshold: lower
+//	              thresholds accept more degenerate layers without repeats.
+//	layers      — parameter tuning of the effective annealing-layer count:
+//	              higher levels run fewer layers per frame.
+package tracker
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"opprox/internal/approx"
+	"opprox/internal/apps"
+	"opprox/internal/qos"
+	"opprox/internal/trace"
+)
+
+// Block indices in the order reported by Blocks.
+const (
+	BlockLikelihood = iota
+	BlockFeatures
+	BlockMinParticles
+	BlockLayers
+)
+
+const (
+	numJoints   = 8
+	imageRows   = 24
+	baseNoise   = 0.35
+	layerBeta   = 1.2
+	annealRatio = 0.55
+	featureSD   = 0.08
+	maxRepeats  = 1 // at most one refinement repeat per (frame, layer)
+
+	costLikelihood = 6
+	costFeatureRow = 4
+	costResample   = 2
+	costRest       = 7
+)
+
+// App is the Bodytrack-style benchmark.
+type App struct{}
+
+// New returns the tracker benchmark application.
+func New() *App { return &App{} }
+
+// Name implements apps.App.
+func (*App) Name() string { return "tracker" }
+
+// Blocks implements apps.App.
+func (*App) Blocks() []approx.Block {
+	return []approx.Block{
+		{Name: "likelihood", Technique: approx.Perforation, MaxLevel: 5},
+		{Name: "features", Technique: approx.Perforation, MaxLevel: 4},
+		{Name: "minparticles", Technique: approx.ParamTuning, MaxLevel: 3},
+		{Name: "layers", Technique: approx.ParamTuning, MaxLevel: 2},
+	}
+}
+
+// Params implements apps.App. The paper's Bodytrack inputs are the number
+// of annealing layers, particles, and frames.
+func (*App) Params() []apps.ParamSpec {
+	return []apps.ParamSpec{
+		{Name: "layers", Values: []float64{3, 5}, Default: 4},
+		{Name: "particles", Values: []float64{60, 120}, Default: 100},
+		{Name: "frames", Values: []float64{8, 16}, Default: 12},
+	}
+}
+
+// qosGain calibrates the pose-distortion metric to the paper's Bodytrack
+// dynamic range.
+const qosGain = 2.0
+
+// QoS implements apps.App (see package comment).
+func (*App) QoS(exact, approximate []float64) (float64, error) {
+	d, err := qos.WeightedVectorDistortion(exact, approximate)
+	return qosGain * d, err
+}
+
+// truePose returns the ground-truth articulated pose at frame t: each
+// joint follows a smooth periodic trajectory with a distinct amplitude, so
+// pose components have very different magnitudes (the QoS metric's
+// weighting matters).
+func truePose(t int) []float64 {
+	pose := make([]float64, numJoints)
+	for j := 0; j < numJoints; j++ {
+		amp := 0.5 + 1.5*float64(j)      // small fingers → large torso
+		freq := 0.15 + 0.04*float64(j%3) // distinct joint dynamics
+		phase := 0.7 * float64(j)        //
+		pose[j] = amp * (1.2 + math.Sin(freq*float64(t)+phase))
+	}
+	return pose
+}
+
+// Run implements apps.App.
+func (a *App) Run(p apps.Params, sched approx.Schedule, baselineIters int) (apps.Result, error) {
+	if err := sched.Validate(a.Blocks()); err != nil {
+		return apps.Result{}, err
+	}
+	pv := p.Vector(a.Params())
+	layersIn := int(pv[0])
+	particles := int(pv[1])
+	frames := int(pv[2])
+	if layersIn < 1 || particles < 4 || frames < 1 {
+		return apps.Result{}, fmt.Errorf("tracker: invalid parameters layers=%d particles=%d frames=%d", layersIn, particles, frames)
+	}
+	seed := apps.Seed(a.Name(), p)
+	rng := rand.New(rand.NewSource(seed))
+
+	// Particle state: each particle is a pose hypothesis.
+	pts := make([][]float64, particles)
+	weights := make([]float64, particles)
+	init := truePose(0)
+	for i := range pts {
+		pts[i] = make([]float64, numJoints)
+		for j := range pts[i] {
+			pts[i][j] = init[j] + rng.NormFloat64()*baseNoise
+		}
+		weights[i] = 1 / float64(particles)
+	}
+
+	var rec trace.Recorder
+	out := make([]float64, 0, frames*numJoints)
+	iterIdx := 0
+	for f := 0; f < frames; f++ {
+		truth := truePose(f)
+
+		// The effective layer count is phase-tunable; sample the level
+		// from the phase this frame's first layer lands in.
+		firstPhase := approx.PhaseOf(iterIdx, baselineIters, sched.Phases)
+		layerLevel := sched.LevelsAt(firstPhase)[BlockLayers]
+		layers := int(math.Round(approx.TunedValue(float64(layersIn), math.Max(1, float64(layersIn)/2), layerLevel, a.Blocks()[BlockLayers].MaxLevel)))
+		if layers < 1 {
+			layers = 1
+		}
+
+		for l := 0; l < layers; l++ {
+			repeats := 0
+		layerLoop:
+			rec.BeginIteration()
+			phase := approx.PhaseOf(iterIdx, baselineIters, sched.Phases)
+			levels := sched.LevelsAt(phase)
+			iterIdx++
+
+			// AB: feature extraction (perforation over image rows). Each
+			// row contributes an independently noisy partial estimate of
+			// the observed pose — the per-row noise is a pure function of
+			// (input seed, frame, row, joint), so the synthetic image is
+			// identical across runs. Sampling fewer rows loses averaging
+			// and yields a noisier feature vector.
+			features := make([]float64, numJoints)
+			rows := approx.Perforate(imageRows, levels[BlockFeatures], func(y int) {
+				for j := 0; j < numJoints; j++ {
+					noise := apps.Noise(seed, int64(f), int64(y), int64(j))
+					features[j] += truth[j] * (1 + noise*featureSD)
+				}
+			})
+			rec.Call("features", uint64(rows*numJoints*costFeatureRow))
+			for j := range features {
+				features[j] /= float64(rows)
+			}
+
+			// AB: likelihood weighting (perforation over particles). A
+			// skipped particle borrows the weight of the most recently
+			// evaluated particle — cheap, and increasingly wrong as the
+			// stride grows.
+			beta := layerBeta * float64(l+1) / float64(layers)
+			weighted := approx.Perforate(particles, levels[BlockLikelihood], func(i int) {
+				d2 := 0.0
+				for j := 0; j < numJoints; j++ {
+					d := pts[i][j] - features[j]
+					d2 += d * d / (0.05 + features[j]*features[j]*0.01)
+				}
+				weights[i] = math.Exp(-beta * d2)
+			})
+			rec.Call("likelihood", uint64(weighted*numJoints*costLikelihood))
+			if stride := levels[BlockLikelihood] + 1; stride > 1 {
+				for i := 0; i < particles; i++ {
+					if i%stride != 0 {
+						weights[i] = weights[i-i%stride]
+					}
+				}
+			}
+
+			// Normalize; measure effective sample size.
+			sumW := 0.0
+			for _, w := range weights {
+				sumW += w
+			}
+			if sumW < 1e-300 {
+				for i := range weights {
+					weights[i] = 1 / float64(particles)
+				}
+				sumW = 1
+			} else {
+				for i := range weights {
+					weights[i] /= sumW
+				}
+			}
+			ess := 0.0
+			for _, w := range weights {
+				ess += w * w
+			}
+			ess = 1 / ess
+
+			// AB: min-particles (parameter tuning). The accurate threshold
+			// demands a healthy particle set; tuning lowers the bar.
+			minParticles := approx.TunedValue(float64(particles)/3, 2, levels[BlockMinParticles], a.Blocks()[BlockMinParticles].MaxLevel)
+
+			// Systematic resampling.
+			pts = resample(pts, weights, rng)
+			for i := range weights {
+				weights[i] = 1 / float64(particles)
+			}
+			rec.Call("minparticles", uint64(particles*costResample))
+
+			// Perturb with geometrically annealed noise: each layer
+			// shrinks the search radius by a fixed factor, so dropping a
+			// layer directly coarsens the final estimate.
+			shrink := baseNoise * math.Pow(annealRatio, float64(l))
+			for i := range pts {
+				for j := range pts[i] {
+					pts[i][j] += rng.NormFloat64() * shrink
+				}
+			}
+			// Image loading, projection math and model bookkeeping: exact
+			// work on every (frame, layer) iteration.
+			rec.Overhead(uint64(particles * numJoints * costRest))
+
+			// Degenerate layer: repeat once to recover diversity. This is
+			// where the iteration count couples to the approximation
+			// levels when min-particles is left strict.
+			if ess < minParticles && repeats < maxRepeats {
+				repeats++
+				goto layerLoop
+			}
+		}
+
+		// Frame estimate: mean pose after the final layer.
+		est := make([]float64, numJoints)
+		for i := range pts {
+			for j := range est {
+				est[j] += pts[i][j]
+			}
+		}
+		for j := range est {
+			est[j] /= float64(particles)
+		}
+		out = append(out, est...)
+	}
+
+	return apps.Result{
+		Output:     out,
+		Work:       rec.TotalWork(),
+		OuterIters: rec.Iterations(),
+		CtxSig:     rec.ContextSignature(),
+	}, nil
+}
+
+// resample draws a new particle set with systematic resampling.
+func resample(pts [][]float64, weights []float64, rng *rand.Rand) [][]float64 {
+	n := len(pts)
+	out := make([][]float64, n)
+	u := rng.Float64() / float64(n)
+	cum := 0.0
+	k := 0
+	for i := 0; i < n; i++ {
+		target := u + float64(i)/float64(n)
+		for cum+weights[k] < target && k < n-1 {
+			cum += weights[k]
+			k++
+		}
+		out[i] = append([]float64(nil), pts[k]...)
+	}
+	return out
+}
+
+var _ apps.App = (*App)(nil)

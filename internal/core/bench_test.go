@@ -1,0 +1,48 @@
+package core
+
+import (
+	"testing"
+
+	"opprox/internal/apps"
+)
+
+func BenchmarkTrainToy(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Train(apps.NewRunner(toyApp{}), fastOptions()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOptimizeToy(b *testing.B) {
+	tr, err := Train(apps.NewRunner(toyApp{}), fastOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := apps.DefaultParams(toyApp{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tr.Optimize(p, 10); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPredictPhase(b *testing.B) {
+	tr, err := Train(apps.NewRunner(toyApp{}), fastOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := apps.DefaultParams(toyApp{})
+	cfg := toyApp{}.Blocks()
+	_ = cfg
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := tr.PredictPhase(p, i%4, []int{2, 1}, true); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"opprox/internal/approx"
+	"opprox/internal/apps"
+	"opprox/internal/ml/conf"
+	"opprox/internal/ml/poly"
+	"opprox/internal/ml/tree"
+)
+
+// The paper's deployment flow (§4.2) trains once, stores the models
+// ("as Python's serialized pickle format in designated locations"), and
+// has a runtime script load them when a job is submitted. This file is the
+// Go equivalent: a versioned JSON encoding of a Trained model set.
+//
+// Training records are deliberately not persisted — the runtime only needs
+// the models; experiments that want records retrain.
+
+// modelFileVersion guards against loading files written by an incompatible
+// build.
+const modelFileVersion = 1
+
+type filteredDTO struct {
+	Model   *poly.Model `json:"model,omitempty"`
+	Keep    []int       `json:"keep,omitempty"`
+	Scale   int         `json:"scale"`
+	Degree  int         `json:"degree,omitempty"`
+	CVScore float64     `json:"cv_score,omitempty"`
+	TrainR2 float64     `json:"train_r2,omitempty"`
+	// Sub-model split (paper §3.7).
+	SplitFeat int          `json:"split_feature,omitempty"`
+	SplitVal  float64      `json:"split_value,omitempty"`
+	Lo        *filteredDTO `json:"lo,omitempty"`
+	Hi        *filteredDTO `json:"hi,omitempty"`
+}
+
+func exportFiltered(fm *filteredModel) filteredDTO {
+	d := filteredDTO{Model: fm.model, Keep: fm.keep, Scale: int(fm.scale), Degree: fm.degree, CVScore: fm.cvScore, TrainR2: fm.trainR2}
+	if fm.lo != nil && fm.hi != nil {
+		d.SplitFeat = fm.splitFeat
+		d.SplitVal = fm.splitVal
+		lo := exportFiltered(fm.lo)
+		hi := exportFiltered(fm.hi)
+		d.Lo, d.Hi = &lo, &hi
+	}
+	return d
+}
+
+func importFiltered(d filteredDTO) (*filteredModel, error) {
+	if d.Scale < int(scaleLinear) || d.Scale > int(scaleLog1p) {
+		return nil, fmt.Errorf("core: unknown target scale %d", d.Scale)
+	}
+	if d.Lo != nil || d.Hi != nil {
+		if d.Lo == nil || d.Hi == nil {
+			return nil, fmt.Errorf("core: split model missing a half")
+		}
+		lo, err := importFiltered(*d.Lo)
+		if err != nil {
+			return nil, err
+		}
+		hi, err := importFiltered(*d.Hi)
+		if err != nil {
+			return nil, err
+		}
+		return &filteredModel{
+			scale:     targetScale(d.Scale),
+			trainR2:   d.TrainR2,
+			splitFeat: d.SplitFeat,
+			splitVal:  d.SplitVal,
+			lo:        lo,
+			hi:        hi,
+		}, nil
+	}
+	if d.Model == nil || d.Model.Expansion == nil {
+		return nil, fmt.Errorf("core: model file is missing a polynomial model")
+	}
+	return &filteredModel{
+		model:   d.Model,
+		keep:    d.Keep,
+		scale:   targetScale(d.Scale),
+		degree:  d.Degree,
+		cvScore: d.CVScore,
+		trainR2: d.TrainR2,
+	}, nil
+}
+
+type phaseDTO struct {
+	Phase         int           `json:"phase"`
+	LocalSpeedup  []filteredDTO `json:"local_speedup"`
+	LocalDeg      []filteredDTO `json:"local_degradation"`
+	Iter          filteredDTO   `json:"iterations"`
+	GlobalSpeedup filteredDTO   `json:"global_speedup"`
+	GlobalDeg     filteredDTO   `json:"global_degradation"`
+	SpeedupCI     conf.Banded   `json:"speedup_ci"`
+	DegCI         conf.Banded   `json:"degradation_ci"`
+	ROI           float64       `json:"roi"`
+	SpeedupR2     float64       `json:"speedup_r2"`
+	DegR2         float64       `json:"degradation_r2"`
+}
+
+type classDTO struct {
+	CtxSig string     `json:"ctx_sig"`
+	Phase  []phaseDTO `json:"phases"`
+}
+
+type modelFile struct {
+	Version     int                 `json:"version"`
+	Opts        Options             `json:"options"`
+	Phases      int                 `json:"phases"`
+	Specs       []apps.ParamSpec    `json:"params"`
+	Blocks      []approx.Block      `json:"blocks"`
+	ControlFlow *tree.ClassifierDTO `json:"control_flow,omitempty"`
+	Classes     map[string]classDTO `json:"classes"`
+}
+
+// Save writes the trained models as versioned JSON. Training records are
+// not included.
+func (t *Trained) Save(w io.Writer) error {
+	mf := modelFile{
+		Version: modelFileVersion,
+		Opts:    t.Opts,
+		Phases:  t.Phases,
+		Specs:   t.Specs,
+		Blocks:  t.Blocks,
+		Classes: make(map[string]classDTO, len(t.Classes)),
+	}
+	if t.ControlFlow != nil {
+		mf.ControlFlow = t.ControlFlow.Export()
+	}
+	for sig, cm := range t.Classes {
+		cd := classDTO{CtxSig: cm.CtxSig}
+		for _, pm := range cm.Phase {
+			pd := phaseDTO{
+				Phase:         pm.Phase,
+				Iter:          exportFiltered(pm.iter),
+				GlobalSpeedup: exportFiltered(pm.globalSpeedup),
+				GlobalDeg:     exportFiltered(pm.globalDeg),
+				SpeedupCI:     pm.SpeedupCI,
+				DegCI:         pm.DegCI,
+				ROI:           pm.ROI,
+				SpeedupR2:     pm.SpeedupR2,
+				DegR2:         pm.DegR2,
+			}
+			for _, fm := range pm.localSpeedup {
+				pd.LocalSpeedup = append(pd.LocalSpeedup, exportFiltered(fm))
+			}
+			for _, fm := range pm.localDeg {
+				pd.LocalDeg = append(pd.LocalDeg, exportFiltered(fm))
+			}
+			cd.Phase = append(cd.Phase, pd)
+		}
+		mf.Classes[sig] = cd
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(mf)
+}
+
+// LoadTrained reads a model set previously written by Save. The result
+// supports PredictPhase, PhaseROI and Optimize; the Records field is
+// empty.
+func LoadTrained(r io.Reader) (*Trained, error) {
+	var mf modelFile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&mf); err != nil {
+		return nil, fmt.Errorf("core: decoding model file: %w", err)
+	}
+	if mf.Version != modelFileVersion {
+		return nil, fmt.Errorf("core: model file version %d, this build reads %d", mf.Version, modelFileVersion)
+	}
+	if mf.Phases < 1 || len(mf.Blocks) == 0 || len(mf.Classes) == 0 {
+		return nil, fmt.Errorf("core: model file is incomplete (phases=%d blocks=%d classes=%d)",
+			mf.Phases, len(mf.Blocks), len(mf.Classes))
+	}
+	t := &Trained{
+		Opts:    mf.Opts,
+		Phases:  mf.Phases,
+		Specs:   mf.Specs,
+		Blocks:  mf.Blocks,
+		Classes: make(map[string]*ClassModels, len(mf.Classes)),
+	}
+	if mf.ControlFlow != nil {
+		clf, err := tree.FromDTO(mf.ControlFlow)
+		if err != nil {
+			return nil, err
+		}
+		t.ControlFlow = clf
+	}
+	for sig, cd := range mf.Classes {
+		cm := &ClassModels{CtxSig: cd.CtxSig}
+		if len(cd.Phase) != mf.Phases {
+			return nil, fmt.Errorf("core: class %q has %d phase models for %d phases", sig, len(cd.Phase), mf.Phases)
+		}
+		for _, pd := range cd.Phase {
+			pm := &PhaseModel{
+				Phase:     pd.Phase,
+				SpeedupCI: pd.SpeedupCI,
+				DegCI:     pd.DegCI,
+				ROI:       pd.ROI,
+				SpeedupR2: pd.SpeedupR2,
+				DegR2:     pd.DegR2,
+			}
+			if len(pd.LocalSpeedup) != len(mf.Blocks) || len(pd.LocalDeg) != len(mf.Blocks) {
+				return nil, fmt.Errorf("core: class %q phase %d has local models for %d/%d blocks, want %d",
+					sig, pd.Phase, len(pd.LocalSpeedup), len(pd.LocalDeg), len(mf.Blocks))
+			}
+			var err error
+			for _, fd := range pd.LocalSpeedup {
+				fm, e := importFiltered(fd)
+				if e != nil {
+					return nil, e
+				}
+				pm.localSpeedup = append(pm.localSpeedup, fm)
+			}
+			for _, fd := range pd.LocalDeg {
+				fm, e := importFiltered(fd)
+				if e != nil {
+					return nil, e
+				}
+				pm.localDeg = append(pm.localDeg, fm)
+			}
+			if pm.iter, err = importFiltered(pd.Iter); err != nil {
+				return nil, err
+			}
+			if pm.globalSpeedup, err = importFiltered(pd.GlobalSpeedup); err != nil {
+				return nil, err
+			}
+			if pm.globalDeg, err = importFiltered(pd.GlobalDeg); err != nil {
+				return nil, err
+			}
+			cm.Phase = append(cm.Phase, pm)
+		}
+		t.Classes[sig] = cm
+	}
+	return t, nil
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"opprox/internal/approx"
+	"opprox/internal/apps"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	_, tr := trainToy(t)
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTrained(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Phases != tr.Phases || len(loaded.Blocks) != len(tr.Blocks) {
+		t.Fatalf("metadata changed: %d/%d vs %d/%d", loaded.Phases, len(loaded.Blocks), tr.Phases, len(tr.Blocks))
+	}
+	p := apps.DefaultParams(toyApp{})
+	for ph := 0; ph < tr.Phases; ph++ {
+		for _, cfg := range []approx.Config{{1, 0}, {3, 2}, {0, 1}} {
+			s1, d1, err := tr.PredictPhase(p, ph, cfg, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s2, d2, err := loaded.PredictPhase(p, ph, cfg, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s1 != s2 || d1 != d2 {
+				t.Fatalf("phase %d cfg %v: predictions differ after reload: (%g,%g) vs (%g,%g)",
+					ph, cfg, s1, d1, s2, d2)
+			}
+		}
+	}
+	// The optimizer must produce the identical schedule from the loaded
+	// models.
+	sched1, _, err := tr.Optimize(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched2, _, err := loaded.Optimize(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched1.String() != sched2.String() {
+		t.Fatalf("schedules differ after reload:\n%s\n%s", sched1, sched2)
+	}
+	if len(loaded.Records) != 0 {
+		t.Fatal("records should not be persisted")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":      "hello",
+		"wrong version": `{"version": 99}`,
+		"empty":         `{"version": 1, "phases": 0, "blocks": [], "classes": {}}`,
+		"unknown field": `{"version": 1, "bogus": 1}`,
+	}
+	for name, body := range cases {
+		if _, err := LoadTrained(strings.NewReader(body)); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadRejectsInconsistentPhases(t *testing.T) {
+	_, tr := trainToy(t)
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the phase count.
+	body := strings.Replace(buf.String(), `"phases": 4`, `"phases": 3`, 1)
+	if _, err := LoadTrained(strings.NewReader(body)); err == nil {
+		t.Fatal("accepted model file with mismatched phase count")
+	}
+}
+
+func TestSaveLoadWithControlFlowTree(t *testing.T) {
+	// The vidpipe-style two-class case exercises the tree export path.
+	runner := apps.NewRunner(twoPathApp{})
+	opts := fastOptions()
+	tr, err := Train(runner, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.ControlFlow == nil {
+		t.Fatal("expected a control-flow classifier for a two-path app")
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTrained(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.ControlFlow == nil {
+		t.Fatal("control-flow classifier lost in round trip")
+	}
+	for _, mode := range []float64{0, 1} {
+		p := apps.Params{"size": 10, "mode": mode}
+		s1, d1, err := tr.PredictPhase(p, 0, approx.Config{2, 1}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, d2, err := loaded.PredictPhase(p, 0, approx.Config{2, 1}, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s1 != s2 || d1 != d2 {
+			t.Fatalf("mode %v: predictions differ after reload", mode)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+
+	"opprox/internal/approx"
+	"opprox/internal/apps"
+)
+
+// FindPhaseGranularity implements the paper's Algorithm 1: starting from
+// N=2, keep doubling the number of phases while doing so still changes the
+// observed phase-to-phase QoS structure by more than the threshold.
+//
+// The helper statistic (getMaxQoSDiff in the paper) runs the application
+// with a set of probe approximation settings applied to one phase at a
+// time and returns the maximum difference between the mean QoS
+// degradations of consecutive phases. When doubling N no longer moves that
+// statistic, finer phases are not revealing new structure and the search
+// stops (paper §3.5).
+func FindPhaseGranularity(runner *apps.Runner, p apps.Params, thresh float64, maxPhases int, rng *rand.Rand) (int, error) {
+	if maxPhases < 2 {
+		return 2, nil
+	}
+	n := 2
+	prev, err := maxQoSDiff(runner, p, n, rng)
+	if err != nil {
+		return 0, err
+	}
+	for n*2 <= maxPhases {
+		next := n * 2
+		cur, err := maxQoSDiff(runner, p, next, rng)
+		if err != nil {
+			return 0, err
+		}
+		if math.Abs(prev-cur) <= thresh {
+			break
+		}
+		n = next
+		prev = cur
+	}
+	return n, nil
+}
+
+// probeConfigs builds the approximation settings getMaxQoSDiff probes
+// with: a mid-level and max-level uniform config plus a few deterministic
+// random ones.
+func probeConfigs(blocks []approx.Block, rng *rand.Rand) []approx.Config {
+	mid := make(approx.Config, len(blocks))
+	maxc := make(approx.Config, len(blocks))
+	for i, b := range blocks {
+		mid[i] = (b.MaxLevel + 1) / 2
+		maxc[i] = b.MaxLevel
+	}
+	cfgs := []approx.Config{mid, maxc}
+	for j := 0; j < 3; j++ {
+		c := make(approx.Config, len(blocks))
+		for i, b := range blocks {
+			c[i] = rng.Intn(b.MaxLevel + 1)
+		}
+		cfgs = append(cfgs, c)
+	}
+	return cfgs
+}
+
+// maxQoSDiff is the paper's getMaxQoSDiff: with the execution divided into
+// n phases, approximate one phase at a time under several settings and
+// return the maximum |mean QoS(ph) - mean QoS(ph+1)| over consecutive
+// phase pairs.
+func maxQoSDiff(runner *apps.Runner, p apps.Params, n int, rng *rand.Rand) (float64, error) {
+	cfgs := probeConfigs(runner.App.Blocks(), rng)
+	means := make([]float64, n)
+	for ph := 0; ph < n; ph++ {
+		sum := 0.0
+		for _, cfg := range cfgs {
+			ev, err := runner.Evaluate(p, approx.SinglePhaseSchedule(n, ph, cfg))
+			if err != nil {
+				return 0, err
+			}
+			sum += ev.Degradation
+		}
+		means[ph] = sum / float64(len(cfgs))
+	}
+	maxDiff := 0.0
+	for ph := 0; ph+1 < n; ph++ {
+		if d := math.Abs(means[ph] - means[ph+1]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	return maxDiff, nil
+}

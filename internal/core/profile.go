@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"opprox/internal/approx"
+	"opprox/internal/apps"
+)
+
+// LevelResult is one measured point of a block's sensitivity sweep.
+type LevelResult struct {
+	Level       int
+	Speedup     float64
+	Degradation float64
+	Iters       int
+}
+
+// BlockProfile is the sensitivity profile of one approximable block
+// (paper §3.1): the whole-run effect of each of its levels with every
+// other block accurate, and the largest level whose output quality is
+// still usable.
+type BlockProfile struct {
+	Block  approx.Block
+	Levels []LevelResult
+	// MaxUsableLevel is the largest contiguous level (starting from 0)
+	// whose degradation stays within the usable threshold. A value of 0
+	// means the block cannot be approximated at all at whole-run scope.
+	MaxUsableLevel int
+}
+
+// SensitivityProfile sweeps each block's levels one block at a time on the
+// given input — the paper's §3.1 procedure for deciding which blocks can
+// withstand approximation. usableDeg is the degradation beyond which the
+// output counts as unusable (Options.UsableDegradation is the natural
+// choice).
+func SensitivityProfile(runner *apps.Runner, p apps.Params, usableDeg float64) ([]BlockProfile, error) {
+	blocks := runner.App.Blocks()
+	profiles := make([]BlockProfile, len(blocks))
+	for bi, b := range blocks {
+		prof := BlockProfile{Block: b}
+		usable := b.MaxLevel
+		for lv := 0; lv <= b.MaxLevel; lv++ {
+			cfg := make(approx.Config, len(blocks))
+			cfg[bi] = lv
+			ev, err := runner.Evaluate(p, approx.UniformSchedule(1, cfg))
+			if err != nil {
+				return nil, fmt.Errorf("profiling %s level %d: %w", b.Name, lv, err)
+			}
+			prof.Levels = append(prof.Levels, LevelResult{
+				Level:       lv,
+				Speedup:     ev.Speedup,
+				Degradation: ev.Degradation,
+				Iters:       ev.OuterIters,
+			})
+			if ev.Degradation > usableDeg && lv <= usable {
+				usable = lv - 1
+			}
+		}
+		if usable < 0 {
+			usable = 0
+		}
+		prof.MaxUsableLevel = usable
+		profiles[bi] = prof
+	}
+	return profiles, nil
+}
+
+// describeModel names a model's shape for Explain: its polynomial degree,
+// or the sub-model split it routes through.
+func describeModel(fm *filteredModel) string {
+	if fm.lo != nil {
+		return fmt.Sprintf("split@x%d", fm.splitFeat)
+	}
+	return fmt.Sprintf("%d", fm.degree)
+}
+
+// Explain renders a human-readable report of what training produced:
+// per-class, per-phase ROI, model quality, chosen polynomial degrees, and
+// confidence-band widths. It is what an operator reads before trusting a
+// model file.
+func (t *Trained) Explain() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "OPPROX models: %d phases, %d blocks, %d input parameters\n",
+		t.Phases, len(t.Blocks), len(t.Specs))
+	var names []string
+	for _, b := range t.Blocks {
+		names = append(names, fmt.Sprintf("%s (%s, levels 0..%d)", b.Name, b.Technique, b.MaxLevel))
+	}
+	fmt.Fprintf(&sb, "blocks: %s\n", strings.Join(names, "; "))
+	if t.ControlFlow != nil {
+		fmt.Fprintf(&sb, "control flow: decision tree over %d classes (depth %d)\n",
+			len(t.ControlFlow.Classes()), t.ControlFlow.Depth())
+	} else {
+		sb.WriteString("control flow: single path\n")
+	}
+
+	sigs := make([]string, 0, len(t.Classes))
+	for sig := range t.Classes {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	for _, sig := range sigs {
+		cm := t.Classes[sig]
+		fmt.Fprintf(&sb, "\nclass %q:\n", sig)
+		fmt.Fprintf(&sb, "  %-6s  %-8s  %-12s  %-12s  %-10s  %-10s\n",
+			"phase", "ROI", "speedup R2", "deg R2", "spd degree", "deg degree")
+		for _, pm := range cm.Phase {
+			fmt.Fprintf(&sb, "  %-6d  %-8.3f  %-12.3f  %-12.3f  %-10s  %-10s\n",
+				pm.Phase+1, pm.ROI, pm.SpeedupR2, pm.DegR2,
+				describeModel(pm.globalSpeedup), describeModel(pm.globalDeg))
+		}
+	}
+	if len(t.Records) > 0 {
+		fmt.Fprintf(&sb, "\ntrained from %d records in %s\n", len(t.Records), t.TrainTime.Round(1e6))
+	}
+	return sb.String()
+}

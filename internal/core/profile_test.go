@@ -1,0 +1,88 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"opprox/internal/apps"
+)
+
+func TestSensitivityProfile(t *testing.T) {
+	runner := apps.NewRunner(toyApp{})
+	p := apps.DefaultParams(toyApp{})
+	profiles, err := SensitivityProfile(runner, p, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != 2 {
+		t.Fatalf("profiles = %d, want 2", len(profiles))
+	}
+	for _, prof := range profiles {
+		if len(prof.Levels) != prof.Block.MaxLevel+1 {
+			t.Fatalf("%s: %d level rows, want %d", prof.Block.Name, len(prof.Levels), prof.Block.MaxLevel+1)
+		}
+		if prof.Levels[0].Degradation != 0 || prof.Levels[0].Speedup != 1 {
+			t.Fatalf("%s: level 0 should be neutral, got %+v", prof.Block.Name, prof.Levels[0])
+		}
+		// toyApp degradation grows monotonically in the level.
+		for i := 1; i < len(prof.Levels); i++ {
+			if prof.Levels[i].Degradation < prof.Levels[i-1].Degradation {
+				t.Fatalf("%s: degradation not monotone: %+v", prof.Block.Name, prof.Levels)
+			}
+		}
+		if prof.MaxUsableLevel < 1 {
+			t.Fatalf("%s: level 1 should be usable at threshold 80", prof.Block.Name)
+		}
+		// Every level at or below the usable bound must respect the
+		// threshold; the first level above it must exceed it.
+		for _, lr := range prof.Levels {
+			if lr.Level <= prof.MaxUsableLevel && lr.Degradation > 80 {
+				t.Fatalf("%s: level %d marked usable at %.1f%%", prof.Block.Name, lr.Level, lr.Degradation)
+			}
+			if lr.Level == prof.MaxUsableLevel+1 && lr.Degradation <= 80 {
+				t.Fatalf("%s: level %d under threshold but marked unusable", prof.Block.Name, lr.Level)
+			}
+		}
+	}
+}
+
+func TestSensitivityProfileTightThreshold(t *testing.T) {
+	runner := apps.NewRunner(toyApp{})
+	p := apps.DefaultParams(toyApp{})
+	// toyApp's beta block at level 1 already costs several percent; a
+	// near-zero threshold should mark high levels unusable.
+	profiles, err := SensitivityProfile(runner, p, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, prof := range profiles {
+		if prof.MaxUsableLevel == prof.Block.MaxLevel {
+			t.Fatalf("%s: every level usable under a 0.5%% threshold?", prof.Block.Name)
+		}
+	}
+}
+
+func TestExplain(t *testing.T) {
+	_, tr := trainToy(t)
+	out := tr.Explain()
+	for _, want := range []string{"4 phases", "alpha", "beta", "ROI", "single path", "records"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainWithControlFlow(t *testing.T) {
+	runner := apps.NewRunner(twoPathApp{})
+	tr, err := Train(runner, fastOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tr.Explain()
+	if !strings.Contains(out, "decision tree over") {
+		t.Fatalf("Explain should mention the control-flow tree:\n%s", out)
+	}
+	if !strings.Contains(out, "beta>alpha") {
+		t.Fatalf("Explain should list both classes:\n%s", out)
+	}
+}

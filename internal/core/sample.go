@@ -1,0 +1,191 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"opprox/internal/approx"
+	"opprox/internal/apps"
+)
+
+// Record is one training observation: the application ran with `Levels`
+// applied during phase `Phase` (all other phases accurate), on input
+// `Params`, and produced the recorded degradation, speedup and outer-loop
+// iteration count (paper §3.3).
+type Record struct {
+	Params   apps.Params
+	ParamVec []float64
+	CtxSig   string
+	Phase    int
+	Levels   approx.Config
+	// Degradation is the final-output QoS degradation (percent-like).
+	Degradation float64
+	// Speedup is goldenWork / work.
+	Speedup float64
+	// Iters is the outer-loop iteration count of the approximate run.
+	Iters int
+	// BaselineIters is the accurate run's iteration count for this input.
+	BaselineIters int
+}
+
+// ParamCombos expands the cartesian product of every parameter's
+// representative values. With maxCombos > 0 a deterministic random subset
+// is returned.
+func ParamCombos(specs []apps.ParamSpec, maxCombos int, rng *rand.Rand) []apps.Params {
+	combos := []apps.Params{{}}
+	for _, spec := range specs {
+		var next []apps.Params
+		for _, base := range combos {
+			for _, v := range spec.Values {
+				p := base.Clone()
+				p[spec.Name] = v
+				next = append(next, p)
+			}
+		}
+		combos = next
+	}
+	if maxCombos > 0 && len(combos) > maxCombos {
+		rng.Shuffle(len(combos), func(i, j int) { combos[i], combos[j] = combos[j], combos[i] })
+		combos = combos[:maxCombos]
+	}
+	return combos
+}
+
+// sampler collects training records for one application.
+type sampler struct {
+	runner *apps.Runner
+	rng    *rand.Rand
+	// workers bounds the parallel run pool; 0 means runtime.NumCPU.
+	workers int
+}
+
+// task is one planned training run.
+type task struct {
+	params apps.Params
+	phase  int
+	cfg    approx.Config
+}
+
+// planConfigs enumerates, for one (combo, phase), the configurations the
+// paper's §3.3 sampling visits: the accurate anchor, exhaustive
+// single-block sweeps ("for each AB it exhaustively covers the
+// corresponding AL-space"), two random level pairs per block pair (the
+// settings where unmodeled two-way interactions bite the confidence
+// intervals), and random sparse joint samples over all blocks.
+func (s *sampler) planConfigs(blocks []approx.Block, jointSamples int) []approx.Config {
+	var cfgs []approx.Config
+	// The accurate point anchors every model at (level 0 → speedup 1,
+	// degradation 0).
+	cfgs = append(cfgs, make(approx.Config, len(blocks)))
+	for bi, b := range blocks {
+		for lv := 1; lv <= b.MaxLevel; lv++ {
+			cfg := make(approx.Config, len(blocks))
+			cfg[bi] = lv
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	for i := 0; i < len(blocks); i++ {
+		for j := i + 1; j < len(blocks); j++ {
+			for k := 0; k < 2; k++ {
+				cfg := make(approx.Config, len(blocks))
+				cfg[i] = 1 + s.rng.Intn(blocks[i].MaxLevel)
+				cfg[j] = 1 + s.rng.Intn(blocks[j].MaxLevel)
+				cfgs = append(cfgs, cfg)
+			}
+		}
+	}
+	for j := 0; j < jointSamples; j++ {
+		cfg := make(approx.Config, len(blocks))
+		for bi, b := range blocks {
+			cfg[bi] = s.rng.Intn(b.MaxLevel + 1)
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	return cfgs
+}
+
+// collectAll plans every training run deterministically (all randomness is
+// drawn sequentially from the sampler's rng) and then executes the runs on
+// a worker pool — each run is an independent pure function of its task, so
+// parallel execution preserves bit-for-bit reproducibility.
+func (s *sampler) collectAll(combos []apps.Params, phases, jointSamples int) ([]Record, error) {
+	app := s.runner.App
+	blocks := app.Blocks()
+	specs := app.Params()
+
+	// Golden runs first (sequentially): they seed the cache every worker
+	// reads, and each downstream record needs its combo's baseline.
+	goldens := make(map[string]*apps.Result, len(combos))
+	for _, p := range combos {
+		g, err := s.runner.Golden(p)
+		if err != nil {
+			return nil, err
+		}
+		goldens[p.Key()] = g
+	}
+
+	// Deterministic plan: the rng is consumed in a fixed order.
+	var tasks []task
+	for _, p := range combos {
+		for ph := 0; ph < phases; ph++ {
+			for _, cfg := range s.planConfigs(blocks, jointSamples) {
+				tasks = append(tasks, task{params: p, phase: ph, cfg: cfg})
+			}
+		}
+	}
+
+	workers := s.workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+
+	records := make([]Record, len(tasks))
+	errs := make([]error, workers)
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range next {
+				tk := tasks[i]
+				golden := goldens[tk.params.Key()]
+				sched := approx.SinglePhaseSchedule(phases, tk.phase, tk.cfg)
+				ev, err := s.runner.Evaluate(tk.params, sched)
+				if err != nil {
+					if errs[w] == nil {
+						errs[w] = fmt.Errorf("sample %s phase %d cfg %s: %w", app.Name(), tk.phase, tk.cfg, err)
+					}
+					continue
+				}
+				records[i] = Record{
+					Params:        tk.params,
+					ParamVec:      tk.params.Vector(specs),
+					CtxSig:        golden.CtxSig,
+					Phase:         tk.phase,
+					Levels:        tk.cfg.Clone(),
+					Degradation:   ev.Degradation,
+					Speedup:       ev.Speedup,
+					Iters:         ev.OuterIters,
+					BaselineIters: golden.OuterIters,
+				}
+			}
+		}(w)
+	}
+	for i := range tasks {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return records, nil
+}

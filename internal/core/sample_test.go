@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"opprox/internal/apps"
+)
+
+func TestSamplerCollectStructure(t *testing.T) {
+	runner := apps.NewRunner(toyApp{})
+	s := &sampler{runner: runner, rng: rand.New(rand.NewSource(1))}
+	p := apps.DefaultParams(toyApp{})
+	all, err := s.collectAll([]apps.Params{p}, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var recs []Record
+	for _, r := range all {
+		if r.Phase == 2 {
+			recs = append(recs, r)
+		}
+	}
+	blocks := toyApp{}.Blocks()
+	// 1 accurate + exhaustive locals (3 + 2) + pairwise (1 pair x 2) +
+	// 5 joints.
+	wantLocal := 0
+	for _, b := range blocks {
+		wantLocal += b.MaxLevel
+	}
+	pairs := len(blocks) * (len(blocks) - 1) / 2
+	want := 1 + wantLocal + 2*pairs + 5
+	if len(recs) != want {
+		t.Fatalf("collected %d records, want %d", len(recs), want)
+	}
+
+	accurate, local, pairwise := 0, 0, 0
+	for _, r := range recs {
+		if r.CtxSig == "" || r.BaselineIters == 0 {
+			t.Fatalf("incomplete record %+v", r)
+		}
+		nonzero := 0
+		for _, lv := range r.Levels {
+			if lv > 0 {
+				nonzero++
+			}
+		}
+		switch nonzero {
+		case 0:
+			accurate++
+		case 1:
+			local++
+		case 2:
+			pairwise++
+		}
+	}
+	if accurate < 1 {
+		t.Fatal("missing the accurate anchor sample")
+	}
+	if local < wantLocal {
+		t.Fatalf("local samples = %d, want >= %d (exhaustive per-block sweep)", local, wantLocal)
+	}
+	if pairwise < 2*pairs {
+		t.Fatalf("pairwise samples = %d, want >= %d", pairwise, 2*pairs)
+	}
+}
+
+func TestSamplerAccurateAnchorIsNeutral(t *testing.T) {
+	runner := apps.NewRunner(toyApp{})
+	s := &sampler{runner: runner, rng: rand.New(rand.NewSource(2))}
+	recs, err := s.collectAll([]apps.Params{apps.DefaultParams(toyApp{})}, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if r.Levels.IsAccurate() {
+			if r.Degradation != 0 || r.Speedup != 1 {
+				t.Fatalf("accurate anchor not neutral: %+v", r)
+			}
+			return
+		}
+	}
+	t.Fatal("no accurate anchor found")
+}
+
+func TestCollectAllCoversAllPhasesAndCombos(t *testing.T) {
+	runner := apps.NewRunner(toyApp{})
+	s := &sampler{runner: runner, rng: rand.New(rand.NewSource(3))}
+	combos := ParamCombos(toyApp{}.Params(), 0, s.rng)
+	recs, err := s.collectAll(combos, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[[2]int]bool{} // (combo size value, phase)
+	for _, r := range recs {
+		seen[[2]int{int(r.Params["size"]), r.Phase}] = true
+	}
+	for _, c := range combos {
+		for ph := 0; ph < 3; ph++ {
+			if !seen[[2]int{int(c["size"]), ph}] {
+				t.Fatalf("no records for size=%v phase=%d", c["size"], ph)
+			}
+		}
+	}
+}
+
+func TestParallelSamplingMatchesSequential(t *testing.T) {
+	combos := []apps.Params{{"size": 10}, {"size": 20}}
+	seq := &sampler{runner: apps.NewRunner(toyApp{}), rng: rand.New(rand.NewSource(9)), workers: 1}
+	par := &sampler{runner: apps.NewRunner(toyApp{}), rng: rand.New(rand.NewSource(9)), workers: 8}
+	a, err := seq.collectAll(combos, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.collectAll(combos, 3, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("record counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Degradation != b[i].Degradation || a[i].Speedup != b[i].Speedup ||
+			a[i].Phase != b[i].Phase || a[i].Levels.String() != b[i].Levels.String() {
+			t.Fatalf("record %d differs:\n%+v\n%+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestParallelSamplingPropagatesErrors(t *testing.T) {
+	s := &sampler{runner: apps.NewRunner(errApp{}), rng: rand.New(rand.NewSource(1)), workers: 4}
+	if _, err := s.collectAll([]apps.Params{apps.DefaultParams(toyApp{})}, 2, 2); err == nil {
+		t.Fatal("want error from failing app")
+	}
+}

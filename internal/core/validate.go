@@ -1,0 +1,96 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+
+	"opprox/internal/approx"
+	"opprox/internal/apps"
+)
+
+// Calibration reports how well the trained models' predictions and
+// confidence bounds hold up against fresh measurements the trainer never
+// saw — the empirical check behind the paper's claim that conservative
+// intervals keep the optimizer from overshooting the budget.
+type Calibration struct {
+	// Probes is the number of fresh (input, phase, config) measurements.
+	Probes int
+	// DegCoverage is the fraction of probes whose measured degradation
+	// stayed at or below the conservative (upper-bound) prediction. The
+	// nominal target is Options.ConfidenceP.
+	DegCoverage float64
+	// SpeedupCoverage is the fraction whose measured speedup stayed at or
+	// above the conservative (lower-bound) prediction.
+	SpeedupCoverage float64
+	// DegMAE and SpeedupMAE are mean absolute errors of the raw (centered)
+	// predictions.
+	DegMAE, SpeedupMAE float64
+	// WorstDegMiss is the largest amount by which a measured degradation
+	// exceeded its conservative bound (0 when coverage is perfect).
+	WorstDegMiss float64
+}
+
+// String summarizes the calibration for reports.
+func (c Calibration) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "calibration over %d fresh probes:\n", c.Probes)
+	fmt.Fprintf(&sb, "  degradation: conservative bound held %.1f%% of the time (worst miss %.2f); raw MAE %.2f\n",
+		100*c.DegCoverage, c.WorstDegMiss, c.DegMAE)
+	fmt.Fprintf(&sb, "  speedup:     conservative bound held %.1f%% of the time; raw MAE %.3f\n",
+		100*c.SpeedupCoverage, c.SpeedupMAE)
+	return sb.String()
+}
+
+// ValidateModels measures nProbes fresh random (phase, configuration)
+// points on the given input and scores the trained models against them.
+// The probes use a seed stream disjoint from training, so none of them
+// appeared in the training set except by coincidence.
+func ValidateModels(runner *apps.Runner, t *Trained, p apps.Params, nProbes int, seed int64) (Calibration, error) {
+	if nProbes < 1 {
+		return Calibration{}, fmt.Errorf("core: need at least 1 probe, got %d", nProbes)
+	}
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed0fca11b))
+	cal := Calibration{Probes: nProbes}
+	for i := 0; i < nProbes; i++ {
+		phase := rng.Intn(t.Phases)
+		cfg := make(approx.Config, len(t.Blocks))
+		nonzero := false
+		for bi, b := range t.Blocks {
+			cfg[bi] = rng.Intn(b.MaxLevel + 1)
+			nonzero = nonzero || cfg[bi] > 0
+		}
+		if !nonzero {
+			cfg[rng.Intn(len(cfg))] = 1
+		}
+		spdRaw, degRaw, err := t.PredictPhase(p, phase, cfg, false)
+		if err != nil {
+			return Calibration{}, err
+		}
+		spdCon, degCon, err := t.PredictPhase(p, phase, cfg, true)
+		if err != nil {
+			return Calibration{}, err
+		}
+		ev, err := runner.Evaluate(p, approx.SinglePhaseSchedule(t.Phases, phase, cfg))
+		if err != nil {
+			return Calibration{}, err
+		}
+		if ev.Degradation <= degCon {
+			cal.DegCoverage++
+		} else if miss := ev.Degradation - degCon; miss > cal.WorstDegMiss {
+			cal.WorstDegMiss = miss
+		}
+		if ev.Speedup >= spdCon {
+			cal.SpeedupCoverage++
+		}
+		cal.DegMAE += math.Abs(ev.Degradation - degRaw)
+		cal.SpeedupMAE += math.Abs(ev.Speedup - spdRaw)
+	}
+	n := float64(nProbes)
+	cal.DegCoverage /= n
+	cal.SpeedupCoverage /= n
+	cal.DegMAE /= n
+	cal.SpeedupMAE /= n
+	return cal, nil
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"opprox/internal/apps"
+)
+
+func TestValidateModelsOnToy(t *testing.T) {
+	runner, tr := trainToy(t)
+	cal, err := ValidateModels(runner, tr, apps.DefaultParams(toyApp{}), 60, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Probes != 60 {
+		t.Fatalf("probes = %d", cal.Probes)
+	}
+	// toyApp is polynomial, so models are near-perfect and the p=0.99
+	// conservative bounds should essentially always hold.
+	if cal.DegCoverage < 0.9 {
+		t.Fatalf("degradation coverage %.2f, want >= 0.9", cal.DegCoverage)
+	}
+	if cal.SpeedupCoverage < 0.9 {
+		t.Fatalf("speedup coverage %.2f, want >= 0.9", cal.SpeedupCoverage)
+	}
+	if cal.DegMAE > 6 {
+		t.Fatalf("degradation MAE %.3f too large for a polynomial app", cal.DegMAE)
+	}
+	out := cal.String()
+	for _, want := range []string{"60 fresh probes", "degradation", "speedup"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("String missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestValidateModelsArgs(t *testing.T) {
+	runner, tr := trainToy(t)
+	if _, err := ValidateModels(runner, tr, apps.DefaultParams(toyApp{}), 0, 1); err == nil {
+		t.Fatal("want error for zero probes")
+	}
+}
+
+func TestValidateModelsDeterministic(t *testing.T) {
+	runner, tr := trainToy(t)
+	p := apps.DefaultParams(toyApp{})
+	a, err := ValidateModels(runner, tr, p, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ValidateModels(runner, tr, p, 20, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("not deterministic:\n%+v\n%+v", a, b)
+	}
+}

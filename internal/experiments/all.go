@@ -1,0 +1,43 @@
+package experiments
+
+// Experiment names one paper artifact and its generator.
+type Experiment struct {
+	ID  string
+	Run func(*Suite) (*Table, error)
+}
+
+// All lists every experiment in presentation order: the paper's figures
+// and tables, then the design-choice ablations.
+func All() []Experiment {
+	return []Experiment{
+		{"fig2", (*Suite).Fig2},
+		{"fig3", (*Suite).Fig3},
+		{"fig4", (*Suite).Fig4},
+		{"fig5", (*Suite).Fig5},
+		{"fig7", (*Suite).Fig7},
+		{"fig9", (*Suite).Fig9},
+		{"fig10", (*Suite).Fig10},
+		{"fig11", (*Suite).Fig11},
+		{"fig12", (*Suite).Fig12},
+		{"fig13", (*Suite).Fig13},
+		{"fig14", (*Suite).Fig14},
+		{"fig15", (*Suite).Fig15},
+		{"table1", (*Suite).Table1},
+		{"table2", (*Suite).Table2},
+		{"ablation-budget", (*Suite).AblationBudgetPolicy},
+		{"ablation-confidence", (*Suite).AblationConfidence},
+		{"ablation-mic", (*Suite).AblationMIC},
+		{"ablation-iter", (*Suite).AblationIterFeature},
+		{"ablation-phasesearch", (*Suite).AblationPhaseSearch},
+	}
+}
+
+// ByID returns the experiment with the given ID, or false.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"opprox/internal/approx"
+	"opprox/internal/core"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID:      "t",
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+		Notes:   []string{"hello"},
+	}
+	tab.AddRow("x", 1.5)
+	tab.AddRow(2, "y")
+	out := tab.Render()
+	for _, want := range []string{"== T: demo ==", "a", "bb", "1.500", "note: hello"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		1:      "1",
+		1.5:    "1.500",
+		2000.7: "2001",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Fatalf("formatFloat(%g) = %q, want %q", in, got, want)
+		}
+	}
+	if formatFloat(math.NaN()) != "NaN" {
+		t.Fatal("NaN should render")
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, ok := ByID("fig14"); !ok {
+		t.Fatal("fig14 missing")
+	}
+	if _, ok := ByID("nonsense"); ok {
+		t.Fatal("nonsense found")
+	}
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if seen[e.ID] {
+			t.Fatalf("duplicate experiment id %q", e.ID)
+		}
+		seen[e.ID] = true
+	}
+}
+
+func TestBudgetsFor(t *testing.T) {
+	v := budgetsFor("vidpipe")
+	if len(v) != 3 || v[0].value >= v[2].value {
+		t.Fatalf("vidpipe budgets wrong: %+v", v)
+	}
+	n := budgetsFor("lulesh")
+	if n[0].value != 5 || n[2].value != 20 {
+		t.Fatalf("numeric budgets wrong: %+v", n)
+	}
+}
+
+// TestQuickExperimentsRun executes the fast characterization experiments
+// end to end on a quick suite. Training-heavy experiments are covered by
+// the benchmarks and cmd/opprox-experiments.
+func TestQuickExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments take seconds")
+	}
+	s := NewSuite(1, true)
+	for _, id := range []string{"fig2", "fig3", "fig7", "table1", "ablation-phasesearch"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("experiment %s missing", id)
+		}
+		tab, err := e.Run(s)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if len(tab.Rows) == 0 {
+			t.Fatalf("%s produced no rows", id)
+		}
+		if tab.Render() == "" {
+			t.Fatalf("%s renders empty", id)
+		}
+	}
+}
+
+func TestRenderCSV(t *testing.T) {
+	tab := &Table{Columns: []string{"a", "b"}}
+	tab.AddRow("plain", `with "quote", comma`)
+	out := tab.RenderCSV()
+	want := "a,b\nplain,\"with \"\"quote\"\", comma\"\n"
+	if out != want {
+		t.Fatalf("csv = %q, want %q", out, want)
+	}
+}
+
+func TestSampleConfigs(t *testing.T) {
+	blocks := []approx.Block{
+		{Name: "a", MaxLevel: 4},
+		{Name: "b", MaxLevel: 2},
+	}
+	rng := rand.New(rand.NewSource(1))
+	cfgs := sampleConfigs(blocks, 10, rng)
+	if len(cfgs) < 10 {
+		t.Fatalf("got %d configs, want >= 10", len(cfgs))
+	}
+	// The per-block max configs must be present.
+	foundMaxA, foundMaxB := false, false
+	for _, c := range cfgs {
+		if c[0] == 4 && c[1] == 0 {
+			foundMaxA = true
+		}
+		if c[0] == 0 && c[1] == 2 {
+			foundMaxB = true
+		}
+		if c.IsAccurate() {
+			t.Fatal("sampleConfigs must not emit the accurate config")
+		}
+	}
+	if !foundMaxA || !foundMaxB {
+		t.Fatal("per-block max configs missing")
+	}
+	// Deterministic for a fixed seed.
+	again := sampleConfigs(blocks, 10, rand.New(rand.NewSource(1)))
+	for i := range cfgs {
+		if cfgs[i].String() != again[i].String() {
+			t.Fatal("sampleConfigs not deterministic")
+		}
+	}
+}
+
+func TestSplitRecords(t *testing.T) {
+	recs := make([]core.Record, 11)
+	for i := range recs {
+		recs[i].Phase = i
+	}
+	train, test := splitRecords(recs, rand.New(rand.NewSource(2)))
+	if len(train)+len(test) != len(recs) {
+		t.Fatalf("split lost records: %d + %d != %d", len(train), len(test), len(recs))
+	}
+	if len(train) == 0 || len(test) == 0 {
+		t.Fatal("degenerate split")
+	}
+	seen := map[int]bool{}
+	for _, r := range append(append([]core.Record{}, train...), test...) {
+		if seen[r.Phase] {
+			t.Fatalf("record %d appears twice", r.Phase)
+		}
+		seen[r.Phase] = true
+	}
+}
+
+func TestDegLabel(t *testing.T) {
+	if got := degLabel("lulesh", 12.345); got != "12.35%" {
+		t.Fatalf("degLabel percent = %q", got)
+	}
+	if got := degLabel("vidpipe", 20); got != "30.0 dB" {
+		t.Fatalf("degLabel psnr = %q", got)
+	}
+}

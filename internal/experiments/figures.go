@@ -1,0 +1,259 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"opprox/internal/approx"
+	"opprox/internal/apps"
+)
+
+// Fig2 reproduces paper Fig. 2: LULESH speedup and QoS degradation as one
+// block's approximation level rises, the other blocks accurate.
+func (s *Suite) Fig2() (*Table, error) {
+	t := &Table{
+		ID:      "fig2",
+		Title:   "LULESH: speedup and error rise with the approximation level of each block",
+		Columns: []string{"block", "technique", "AL", "speedup", "QoS degradation"},
+	}
+	runner := s.runner("lulesh")
+	p := apps.DefaultParams(runner.App)
+	blocks := runner.App.Blocks()
+	for bi, b := range blocks {
+		for lv := 0; lv <= b.MaxLevel; lv++ {
+			cfg := make(approx.Config, len(blocks))
+			cfg[bi] = lv
+			ev, err := runner.Evaluate(p, approx.UniformSchedule(1, cfg))
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(b.Name, b.Technique.String(), lv, ev.Speedup, fmt.Sprintf("%.2f%%", ev.Degradation))
+		}
+	}
+	return t, nil
+}
+
+// Fig3 reproduces paper Fig. 3: the LULESH outer loop's iteration count
+// varies with the approximation setting — it can shrink or grow.
+func (s *Suite) Fig3() (*Table, error) {
+	t := &Table{
+		ID:      "fig3",
+		Title:   "LULESH: outer-loop iteration count varies with the approximation setting",
+		Columns: []string{"config [forces positions strain timeconstraints]", "outer-loop iterations", "vs accurate"},
+	}
+	runner := s.runner("lulesh")
+	p := apps.DefaultParams(runner.App)
+	g, err := runner.Golden(p)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("[0 0 0 0] (accurate)", g.OuterIters, "1.00x")
+	rng := rand.New(rand.NewSource(s.Seed + 3))
+	minIt, maxIt := g.OuterIters, g.OuterIters
+	for _, cfg := range sampleConfigs(runner.App.Blocks(), 16, rng) {
+		ev, err := runner.Evaluate(p, approx.UniformSchedule(1, cfg))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(cfg.String(), ev.OuterIters, fmt.Sprintf("%.2fx", float64(ev.OuterIters)/float64(g.OuterIters)))
+		if ev.OuterIters < minIt {
+			minIt = ev.OuterIters
+		}
+		if ev.OuterIters > maxIt {
+			maxIt = ev.OuterIters
+		}
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("iteration count ranges %d..%d around the accurate %d — approximation can slow the program down (paper: 921 vs 965)", minIt, maxIt, g.OuterIters))
+	return t, nil
+}
+
+// phaseFigure builds the per-phase QoS (deg=true) or speedup (deg=false)
+// characterization for one app — the template behind Figs. 4, 5, 9, 10.
+func (s *Suite) phaseFigure(id, app string, deg bool) (*Table, error) {
+	kind := "speedup"
+	if deg {
+		kind = "QoS degradation"
+	}
+	t := &Table{
+		ID:      id,
+		Title:   fmt.Sprintf("%s: phase-specific %s (4 phases; each row summarizes many approximation settings)", app, kind),
+		Columns: []string{"segment", "min", "mean", "max", "iterations"},
+	}
+	runner := s.runner(app)
+	p := apps.DefaultParams(runner.App)
+	rng := rand.New(rand.NewSource(s.Seed + 9))
+	cfgs := sampleConfigs(runner.App.Blocks(), 14, rng)
+	segments := []int{0, 1, 2, 3, -1}
+	for _, ph := range segments {
+		st, err := s.measurePhase(app, p, 4, ph, cfgs)
+		if err != nil {
+			return nil, err
+		}
+		label := fmt.Sprintf("phase-%d", ph+1)
+		if ph < 0 {
+			label = "All"
+		}
+		if deg {
+			t.AddRow(label, degLabel(app, st.minDeg), degLabel(app, st.meanDeg), degLabel(app, st.maxDeg),
+				fmt.Sprintf("%d..%d", st.minIters, st.maxIters))
+		} else {
+			t.AddRow(label, st.minSpd, st.meanSpd, st.maxSpd,
+				fmt.Sprintf("%d..%d", st.minIters, st.maxIters))
+		}
+	}
+	return t, nil
+}
+
+// Fig4 reproduces paper Fig. 4: LULESH phase-specific QoS degradation.
+func (s *Suite) Fig4() (*Table, error) { return s.phaseFigure("fig4", "lulesh", true) }
+
+// Fig5 reproduces paper Fig. 5: LULESH phase-specific speedup.
+func (s *Suite) Fig5() (*Table, error) { return s.phaseFigure("fig5", "lulesh", false) }
+
+// Fig7 reproduces paper Fig. 7: swapping the order of the deflate and edge
+// detection filters drastically changes the QoS degradation of the same
+// approximation setting.
+func (s *Suite) Fig7() (*Table, error) {
+	t := &Table{
+		ID:      "fig7",
+		Title:   "vidpipe (FFmpeg): filter order changes both control flow and approximation error",
+		Columns: []string{"filter order", "control flow", "config", "PSNR"},
+	}
+	runner := s.runner("vidpipe")
+	for _, order := range []float64{0, 1} {
+		p := apps.DefaultParams(runner.App)
+		p["filterorder"] = order
+		g, err := runner.Golden(p)
+		if err != nil {
+			return nil, err
+		}
+		name := "deflate -> edge"
+		if order == 1 {
+			name = "edge -> deflate"
+		}
+		for _, cfg := range []approx.Config{{2, 0, 0}, {0, 3, 0}, {3, 3, 1}} {
+			ev, err := runner.Evaluate(p, approx.UniformSchedule(1, cfg))
+			if err != nil {
+				return nil, err
+			}
+			t.AddRow(name, g.CtxSig, cfg.String(), degLabel("vidpipe", ev.Degradation))
+		}
+	}
+	t.Notes = append(t.Notes, "the control-flow signature differs per order; OPPROX's decision tree learns to predict it from the input parameters (paper Fig. 8)")
+	return t, nil
+}
+
+// Fig9 reproduces paper Fig. 9: phase-specific QoS degradation for CoMD,
+// PSO, Bodytrack (tracker), and FFmpeg (vidpipe).
+func (s *Suite) Fig9() (*Table, error) {
+	t := &Table{
+		ID:      "fig9",
+		Title:   "phase-specific QoS degradation (CoMD, PSO, Bodytrack/tracker, FFmpeg/vidpipe)",
+		Columns: []string{"app", "segment", "min", "mean", "max"},
+	}
+	for _, app := range []string{"comd", "pso", "tracker", "vidpipe"} {
+		sub, err := s.phaseFigure("", app, true)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range sub.Rows {
+			t.AddRow(app, row[0], row[1], row[2], row[3])
+		}
+	}
+	t.Notes = append(t.Notes, "vidpipe reports PSNR (higher is better), the others percent degradation (lower is better), as in the paper")
+	return t, nil
+}
+
+// Fig10 reproduces paper Fig. 10: phase-specific speedup for the same apps.
+func (s *Suite) Fig10() (*Table, error) {
+	t := &Table{
+		ID:      "fig10",
+		Title:   "phase-specific speedup (CoMD, PSO, Bodytrack/tracker, FFmpeg/vidpipe)",
+		Columns: []string{"app", "segment", "min", "mean", "max", "iterations"},
+	}
+	for _, app := range []string{"comd", "pso", "tracker", "vidpipe"} {
+		sub, err := s.phaseFigure("", app, false)
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range sub.Rows {
+			t.AddRow(app, row[0], row[1], row[2], row[3], row[4])
+		}
+	}
+	return t, nil
+}
+
+// Fig11 reproduces paper Fig. 11: how the per-phase QoS degradation
+// changes as the execution is divided into 2, 4, and 8 phases, for
+// Bodytrack (tracker) and LULESH.
+func (s *Suite) Fig11() (*Table, error) {
+	t := &Table{
+		ID:      "fig11",
+		Title:   "QoS degradation at 2/4/8-phase granularity (tracker, lulesh)",
+		Columns: []string{"app", "phases", "per-phase mean degradation (first..last)"},
+	}
+	rng := rand.New(rand.NewSource(s.Seed + 11))
+	for _, app := range []string{"tracker", "lulesh"} {
+		runner := s.runner(app)
+		p := apps.DefaultParams(runner.App)
+		cfgs := sampleConfigs(runner.App.Blocks(), 10, rng)
+		for _, n := range []int{2, 4, 8} {
+			line := ""
+			for ph := 0; ph < n; ph++ {
+				st, err := s.measurePhase(app, p, n, ph, cfgs)
+				if err != nil {
+					return nil, err
+				}
+				if ph > 0 {
+					line += "  "
+				}
+				line += fmt.Sprintf("%.1f", st.meanDeg)
+			}
+			t.AddRow(app, n, line)
+		}
+	}
+	t.Notes = append(t.Notes,
+		"at 8 phases, neighboring late phases become hard to distinguish — the diminishing returns that motivate Algorithm 1's granularity search")
+	return t, nil
+}
+
+// Fig15 reproduces paper Fig. 15: phase-specific behavior holds across
+// input parameter combinations (tracker and lulesh, four input combos).
+func (s *Suite) Fig15() (*Table, error) {
+	t := &Table{
+		ID:      "fig15",
+		Title:   "phase behavior across input combinations (tracker, lulesh; 4 inputs each)",
+		Columns: []string{"app", "input", "segment", "mean degradation", "mean speedup"},
+	}
+	rng := rand.New(rand.NewSource(s.Seed + 15))
+	inputs := map[string][]apps.Params{
+		"tracker": {
+			{"layers": 3, "particles": 60, "frames": 8},
+			{"layers": 3, "particles": 120, "frames": 16},
+			{"layers": 5, "particles": 60, "frames": 16},
+			{"layers": 5, "particles": 120, "frames": 8},
+		},
+		"lulesh": {
+			{"mesh": 32, "regions": 2},
+			{"mesh": 48, "regions": 4},
+			{"mesh": 64, "regions": 2},
+			{"mesh": 64, "regions": 4},
+		},
+	}
+	for _, app := range []string{"tracker", "lulesh"} {
+		runner := s.runner(app)
+		cfgs := sampleConfigs(runner.App.Blocks(), 8, rng)
+		for i, p := range inputs[app] {
+			for ph := 0; ph < 4; ph++ {
+				st, err := s.measurePhase(app, p, 4, ph, cfgs)
+				if err != nil {
+					return nil, err
+				}
+				t.AddRow(app, fmt.Sprintf("input-%d", i+1), fmt.Sprintf("phase-%d", ph+1),
+					fmt.Sprintf("%.2f", st.meanDeg), st.meanSpd)
+			}
+		}
+	}
+	t.Notes = append(t.Notes, "the early-phases-are-costlier trend holds for every input combination: the benefit of phase-aware approximation is not tied to one input")
+	return t, nil
+}

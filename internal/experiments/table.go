@@ -1,0 +1,124 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§5) against the simulated substrates, as plain-text tables.
+// Each generator corresponds to one artifact (Fig2 … Fig15, Table1,
+// Table2) plus the ablations DESIGN.md calls out; cmd/opprox-experiments
+// prints them all and bench_test.go wraps each in a testing.B benchmark.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one rendered experiment artifact.
+type Table struct {
+	// ID matches the paper artifact, e.g. "fig14" or "table2".
+	ID string
+	// Title describes what the artifact shows.
+	Title string
+	// Columns are the header cells.
+	Columns []string
+	// Rows are the data cells (stringified).
+	Rows [][]string
+	// Notes carry caveats and observations to surface under the table.
+	Notes []string
+}
+
+// AddRow appends a row, stringifying each cell.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = formatFloat(v)
+		case int:
+			row[i] = fmt.Sprint(v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v != v:
+		return "NaN"
+	case v == float64(int64(v)) && v < 1e15 && v > -1e15:
+		return fmt.Sprintf("%.0f", v)
+	case v >= 1000 || v <= -1000:
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// RenderCSV emits the table as RFC-4180-ish CSV (header row first), for
+// loading into plotting tools.
+func (t *Table) RenderCSV() string {
+	var sb strings.Builder
+	writeCSVRow(&sb, t.Columns)
+	for _, row := range t.Rows {
+		writeCSVRow(&sb, row)
+	}
+	return sb.String()
+}
+
+func writeCSVRow(sb *strings.Builder, cells []string) {
+	for i, c := range cells {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		if strings.ContainsAny(c, ",\"\n") {
+			sb.WriteByte('"')
+			sb.WriteString(strings.ReplaceAll(c, "\"", "\"\""))
+			sb.WriteByte('"')
+		} else {
+			sb.WriteString(c)
+		}
+	}
+	sb.WriteByte('\n')
+}
+
+// Render lays the table out as aligned plain text.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s ==\n", strings.ToUpper(t.ID), t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "note: %s\n", n)
+	}
+	return sb.String()
+}

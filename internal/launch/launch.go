@@ -1,0 +1,178 @@
+// Package launch implements the paper's runtime flow (§4.2): "User
+// submits the job with a target error budget in a configuration-file.
+// Then a runtime-script loads the corresponding models and finds the best
+// phase-specific approximation settings for that error budget ... The
+// phase-specific approximation settings are passed to the job via
+// environment variables; specifying the approximation level for each AB
+// during each phase of the execution."
+//
+// The SLURM scheduler itself is out of scope; this package provides the
+// three pieces around it: the job configuration file, the environment
+// encoding of a schedule, and the app-side decoder that turns the
+// environment back into a Schedule.
+package launch
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"opprox/internal/approx"
+	"opprox/internal/apps"
+	"opprox/internal/core"
+)
+
+// JobConfig is the configuration file a user submits with a job.
+type JobConfig struct {
+	// App names the application (must match the trained models).
+	App string `json:"app"`
+	// Budget is the QoS-degradation budget.
+	Budget float64 `json:"budget"`
+	// Params are the production input parameters.
+	Params apps.Params `json:"params,omitempty"`
+	// ModelPath locates the stored models ("designated location").
+	ModelPath string `json:"model_path"`
+}
+
+// ParseJobConfig reads and validates a job configuration.
+func ParseJobConfig(r io.Reader) (*JobConfig, error) {
+	var cfg JobConfig
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&cfg); err != nil {
+		return nil, fmt.Errorf("launch: decoding job config: %w", err)
+	}
+	if cfg.App == "" {
+		return nil, fmt.Errorf("launch: job config missing \"app\"")
+	}
+	if cfg.Budget < 0 {
+		return nil, fmt.Errorf("launch: negative budget %g", cfg.Budget)
+	}
+	if cfg.ModelPath == "" {
+		return nil, fmt.Errorf("launch: job config missing \"model_path\"")
+	}
+	return &cfg, nil
+}
+
+// envPrefix namespaces the schedule variables.
+const envPrefix = "OPPROX"
+
+// envKey builds the variable name for one (phase, block) cell:
+// OPPROX_P<phase>_<BLOCK>.
+func envKey(phase int, block string) string {
+	clean := strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z':
+			return r - 'a' + 'A'
+		case r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			return r
+		default:
+			return '_'
+		}
+	}, block)
+	return fmt.Sprintf("%s_P%d_%s", envPrefix, phase+1, clean)
+}
+
+// EncodeEnv renders a schedule as environment-variable assignments, one
+// per (phase, block), plus OPPROX_PHASES with the phase count. The order
+// is deterministic: phases outer, blocks inner.
+func EncodeEnv(sched approx.Schedule, blocks []approx.Block) ([]string, error) {
+	if err := sched.Validate(blocks); err != nil {
+		return nil, err
+	}
+	out := []string{fmt.Sprintf("%s_PHASES=%d", envPrefix, sched.Phases)}
+	for ph := 0; ph < sched.Phases; ph++ {
+		for bi, b := range blocks {
+			out = append(out, fmt.Sprintf("%s=%d", envKey(ph, b.Name), sched.Levels[ph][bi]))
+		}
+	}
+	return out, nil
+}
+
+// DecodeEnv reconstructs a schedule from environment assignments (the
+// app-side half of the contract). Missing variables default to level 0 —
+// an instrumented application run without OPPROX degenerates to the exact
+// program. Unknown OPPROX_ variables are rejected so typos fail loudly.
+func DecodeEnv(env []string, blocks []approx.Block) (approx.Schedule, error) {
+	vars := map[string]string{}
+	for _, kv := range env {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return approx.Schedule{}, fmt.Errorf("launch: malformed assignment %q", kv)
+		}
+		if strings.HasPrefix(parts[0], envPrefix+"_") {
+			vars[parts[0]] = parts[1]
+		}
+	}
+	phases := 1
+	if v, ok := vars[envPrefix+"_PHASES"]; ok {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return approx.Schedule{}, fmt.Errorf("launch: bad %s_PHASES=%q", envPrefix, v)
+		}
+		phases = n
+		delete(vars, envPrefix+"_PHASES")
+	}
+	sched := approx.UniformSchedule(phases, make(approx.Config, len(blocks)))
+	for ph := 0; ph < phases; ph++ {
+		for bi, b := range blocks {
+			key := envKey(ph, b.Name)
+			v, ok := vars[key]
+			if !ok {
+				continue // defaults to the accurate level
+			}
+			delete(vars, key)
+			lv, err := strconv.Atoi(v)
+			if err != nil {
+				return approx.Schedule{}, fmt.Errorf("launch: bad %s=%q", key, v)
+			}
+			sched.Levels[ph][bi] = lv
+		}
+	}
+	if len(vars) > 0 {
+		keys := make([]string, 0, len(vars))
+		for k := range vars {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return approx.Schedule{}, fmt.Errorf("launch: unknown schedule variables: %s", strings.Join(keys, ", "))
+	}
+	if err := sched.Validate(blocks); err != nil {
+		return approx.Schedule{}, err
+	}
+	return sched, nil
+}
+
+// Plan is the launch decision for one job.
+type Plan struct {
+	Config   *JobConfig
+	Schedule approx.Schedule
+	Pred     core.Prediction
+	Env      []string
+}
+
+// Dispatch runs the full runtime flow for a job: load the models, optimize
+// for the configured budget and parameters, and render the schedule as the
+// environment the scheduler should launch the job with.
+func Dispatch(cfg *JobConfig, models io.Reader) (*Plan, error) {
+	tr, err := core.LoadTrained(models)
+	if err != nil {
+		return nil, err
+	}
+	params := cfg.Params
+	if params == nil {
+		params = apps.Params{}
+	}
+	sched, pred, err := tr.Optimize(params, cfg.Budget)
+	if err != nil {
+		return nil, err
+	}
+	env, err := EncodeEnv(sched, tr.Blocks)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Config: cfg, Schedule: sched, Pred: pred, Env: env}, nil
+}

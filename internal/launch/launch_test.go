@@ -1,0 +1,213 @@
+package launch
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"opprox/internal/approx"
+	"opprox/internal/apps"
+	"opprox/internal/apps/pso"
+	"opprox/internal/core"
+)
+
+var testBlocks = []approx.Block{
+	{Name: "forces", Technique: approx.Perforation, MaxLevel: 5},
+	{Name: "time-constraints", Technique: approx.Truncation, MaxLevel: 5},
+}
+
+func TestParseJobConfig(t *testing.T) {
+	cfg, err := ParseJobConfig(strings.NewReader(`{
+		"app": "lulesh",
+		"budget": 10,
+		"params": {"mesh": 64},
+		"model_path": "/models/lulesh.json"
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.App != "lulesh" || cfg.Budget != 10 || cfg.Params["mesh"] != 64 {
+		t.Fatalf("parsed %+v", cfg)
+	}
+}
+
+func TestParseJobConfigErrors(t *testing.T) {
+	cases := map[string]string{
+		"not json":       "x",
+		"missing app":    `{"budget": 5, "model_path": "m"}`,
+		"missing models": `{"app": "a", "budget": 5}`,
+		"negative":       `{"app": "a", "budget": -1, "model_path": "m"}`,
+		"unknown field":  `{"app": "a", "budget": 5, "model_path": "m", "bogus": 1}`,
+	}
+	for name, body := range cases {
+		if _, err := ParseJobConfig(strings.NewReader(body)); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
+func TestEncodeEnv(t *testing.T) {
+	sched := approx.Schedule{
+		Phases: 2,
+		Levels: []approx.Config{{1, 0}, {3, 5}},
+	}
+	env, err := EncodeEnv(sched, testBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"OPPROX_PHASES=2",
+		"OPPROX_P1_FORCES=1",
+		"OPPROX_P1_TIME_CONSTRAINTS=0",
+		"OPPROX_P2_FORCES=3",
+		"OPPROX_P2_TIME_CONSTRAINTS=5",
+	}
+	if len(env) != len(want) {
+		t.Fatalf("env = %v", env)
+	}
+	for i := range want {
+		if env[i] != want[i] {
+			t.Fatalf("env[%d] = %q, want %q", i, env[i], want[i])
+		}
+	}
+}
+
+func TestEncodeEnvRejectsInvalid(t *testing.T) {
+	bad := approx.UniformSchedule(1, approx.Config{9, 0})
+	if _, err := EncodeEnv(bad, testBlocks); err == nil {
+		t.Fatal("invalid schedule accepted")
+	}
+}
+
+func TestDecodeEnvRoundTrip(t *testing.T) {
+	sched := approx.Schedule{
+		Phases: 4,
+		Levels: []approx.Config{{0, 0}, {1, 2}, {5, 0}, {2, 5}},
+	}
+	env, err := EncodeEnv(sched, testBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeEnv(env, testBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != sched.String() {
+		t.Fatalf("round trip changed the schedule:\n%s\n%s", got, sched)
+	}
+}
+
+func TestDecodeEnvDefaults(t *testing.T) {
+	// No OPPROX variables at all → single accurate phase.
+	sched, err := DecodeEnv([]string{"PATH=/bin", "HOME=/root"}, testBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sched.IsAccurate() || sched.Phases != 1 {
+		t.Fatalf("default schedule = %s", sched)
+	}
+	// Partial assignment: missing cells stay accurate.
+	sched, err = DecodeEnv([]string{"OPPROX_PHASES=2", "OPPROX_P2_FORCES=3"}, testBlocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Levels[0][0] != 0 || sched.Levels[1][0] != 3 {
+		t.Fatalf("partial schedule = %s", sched)
+	}
+}
+
+func TestDecodeEnvErrors(t *testing.T) {
+	cases := [][]string{
+		{"OPPROX_PHASES=zero"},
+		{"OPPROX_PHASES=0"},
+		{"OPPROX_PHASES=1", "OPPROX_P1_FORCES=lots"},
+		{"OPPROX_PHASES=1", "OPPROX_P1_TYPO=1"},
+		{"OPPROX_PHASES=1", "OPPROX_P1_FORCES=99"}, // out of range
+		{"malformed"},
+	}
+	for i, env := range cases {
+		if _, err := DecodeEnv(env, testBlocks); err == nil {
+			t.Fatalf("case %d: accepted %v", i, env)
+		}
+	}
+}
+
+func TestEnvKeySanitizesNames(t *testing.T) {
+	if got := envKey(0, "time-constraints"); got != "OPPROX_P1_TIME_CONSTRAINTS" {
+		t.Fatalf("envKey = %q", got)
+	}
+	if got := envKey(2, "blockA1"); got != "OPPROX_P3_BLOCKA1" {
+		t.Fatalf("envKey = %q", got)
+	}
+}
+
+func TestDispatchEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model; skipped with -short")
+	}
+	app := pso.New()
+	opts := core.DefaultOptions()
+	opts.Phases = 2
+	opts.JointSamplesPerPhase = 6
+	opts.MaxParamCombos = 3
+	opts.Folds = 5
+	tr, err := core.Train(apps.NewRunner(app), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var models bytes.Buffer
+	if err := tr.Save(&models); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := ParseJobConfig(strings.NewReader(`{
+		"app": "pso", "budget": 10, "params": {"swarm": 16, "dim": 4},
+		"model_path": "unused-in-test"
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Dispatch(cfg, &models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Pred.Degradation > 10 {
+		t.Fatalf("plan predicts %.2f%% over the 10%% budget", plan.Pred.Degradation)
+	}
+	// The environment must decode back to the exact schedule the app will
+	// see.
+	sched, err := DecodeEnv(plan.Env, app.Blocks())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.String() != plan.Schedule.String() {
+		t.Fatalf("env round trip changed the schedule")
+	}
+}
+
+// Property: every valid schedule round-trips through the environment.
+func TestEncodeDecodeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		phases := 1 + rng.Intn(8)
+		sched := approx.UniformSchedule(phases, make(approx.Config, len(testBlocks)))
+		for ph := 0; ph < phases; ph++ {
+			for bi, b := range testBlocks {
+				sched.Levels[ph][bi] = rng.Intn(b.MaxLevel + 1)
+			}
+		}
+		env, err := EncodeEnv(sched, testBlocks)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeEnv(env, testBlocks)
+		if err != nil {
+			return false
+		}
+		return got.String() == sched.String()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,112 @@
+package conf
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBandedErrors(t *testing.T) {
+	if _, err := BandedFromResiduals([]float64{1}, []float64{1, 2}, 0.9, 2); err == nil {
+		t.Fatal("want length mismatch error")
+	}
+	if _, err := BandedFromResiduals(nil, nil, 0.9, 2); !errors.Is(err, ErrNoResiduals) {
+		t.Fatalf("err = %v, want ErrNoResiduals", err)
+	}
+}
+
+func TestBandedSmallSampleCollapsesToOneBand(t *testing.T) {
+	preds := []float64{1, 2, 3, 4, 5}
+	res := []float64{0.1, -0.2, 0.3, -0.1, 0.2}
+	b, err := BandedFromResiduals(preds, res, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Bands) != 1 {
+		t.Fatalf("bands = %d, want 1 for tiny samples", len(b.Bands))
+	}
+	if b.Upper(3) != 3+0.3 {
+		t.Fatalf("Upper = %g", b.Upper(3))
+	}
+}
+
+func TestBandedHeteroscedastic(t *testing.T) {
+	// Residual magnitude grows with the prediction: the low band must be
+	// much tighter than the high band.
+	rng := rand.New(rand.NewSource(1))
+	var preds, res []float64
+	for i := 0; i < 400; i++ {
+		p := rng.Float64() * 10
+		preds = append(preds, p)
+		res = append(res, rng.NormFloat64()*(0.01+p*p/20))
+	}
+	b, err := BandedFromResiduals(preds, res, 0.95, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Bands) != 4 {
+		t.Fatalf("bands = %d, want 4", len(b.Bands))
+	}
+	low := b.Upper(0.5) - 0.5
+	high := b.Upper(9.5) - 9.5
+	if low >= high {
+		t.Fatalf("low-band width %g should be < high-band width %g", low, high)
+	}
+	if low > 1 {
+		t.Fatalf("low band too wide: %g", low)
+	}
+}
+
+func TestBandedLookupEdges(t *testing.T) {
+	b := Banded{
+		Edges: []float64{1, 2},
+		Bands: []Interval{{HalfWidth: 0.1}, {HalfWidth: 0.2}, {HalfWidth: 0.3}},
+	}
+	if got := b.Upper(0.5) - 0.5; math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("band 0 width = %g", got)
+	}
+	if got := b.Upper(1.5) - 1.5; math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("band 1 width = %g", got)
+	}
+	if got := b.Lower(99) - 99; math.Abs(got+0.3) > 1e-12 {
+		t.Fatalf("band 2 lower offset = %g", got)
+	}
+	// Exactly on an edge belongs to the lower band.
+	if got := b.Upper(1.0) - 1.0; math.Abs(got-0.1) > 1e-12 {
+		t.Fatalf("edge case width = %g", got)
+	}
+}
+
+// Property: per-band coverage at level p holds on the calibration data.
+func TestBandedCoverageProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 120 + rng.Intn(400)
+		preds := make([]float64, n)
+		res := make([]float64, n)
+		for i := 0; i < n; i++ {
+			preds[i] = rng.Float64() * 5
+			res[i] = rng.NormFloat64() * (0.1 + preds[i])
+		}
+		p := 0.9
+		b, err := BandedFromResiduals(preds, res, p, 3)
+		if err != nil {
+			return false
+		}
+		in := 0
+		for i := 0; i < n; i++ {
+			truth := preds[i] + res[i]
+			if truth <= b.Upper(preds[i]) && truth >= b.Lower(preds[i]) {
+				in++
+			}
+		}
+		// Slack: band boundaries shift a little relative to per-band
+		// calibration; allow 5 percentage points.
+		return float64(in)/float64(n) >= p-0.05
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,156 @@
+// Package conf computes residual-based confidence intervals for fitted
+// models, following the approach OPPROX adapts from Mitra et al. (PACT'15):
+// if a model's prediction is Q and, over held-out data, a fraction p of
+// absolute modeling errors stay within e, the true value is taken to lie in
+// [Q-e, Q+e]. OPPROX then uses the pessimistic edge of that interval —
+// upper for QoS degradation, lower for speedup — so the optimizer never
+// banks on model optimism (paper §3.6).
+package conf
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// Interval is a symmetric confidence band around model predictions.
+type Interval struct {
+	// HalfWidth is e: the p-quantile of |residual|.
+	HalfWidth float64
+	// P is the confidence level the band was built at.
+	P float64
+}
+
+// ErrNoResiduals reports an empty residual set.
+var ErrNoResiduals = errors.New("conf: no residuals")
+
+// FromResiduals builds the confidence band at level p (e.g. 0.99) from
+// model residuals (truth - prediction).
+func FromResiduals(residuals []float64, p float64) (Interval, error) {
+	if len(residuals) == 0 {
+		return Interval{}, ErrNoResiduals
+	}
+	if p <= 0 || p > 1 {
+		return Interval{}, errors.New("conf: p must be in (0, 1]")
+	}
+	abs := make([]float64, len(residuals))
+	for i, r := range residuals {
+		abs[i] = math.Abs(r)
+	}
+	sort.Float64s(abs)
+	// The smallest index k such that (k+1)/n >= p.
+	k := int(math.Ceil(p*float64(len(abs)))) - 1
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(abs) {
+		k = len(abs) - 1
+	}
+	return Interval{HalfWidth: abs[k], P: p}, nil
+}
+
+// Banded is a confidence band whose width depends on the predicted value:
+// residuals are grouped into quantile bands of the prediction, and each
+// band carries its own p-quantile half-width. Models of QoS degradation
+// are strongly heteroscedastic — accurate near zero, noisy at aggressive
+// settings — and a single global band would let the noisy region's tail
+// veto the accurate region (Mitra et al., PACT'15 condition their error
+// model the same way).
+type Banded struct {
+	// Edges are the upper prediction bounds of each band except the last
+	// (len(Edges) == len(Bands)-1).
+	Edges []float64
+	Bands []Interval
+	P     float64
+}
+
+// BandedFromResiduals builds a banded confidence interval at level p from
+// (prediction, residual) pairs, using at most nBands equal-population
+// bands. Bands with too few residuals are merged into their neighbor.
+func BandedFromResiduals(preds, residuals []float64, p float64, nBands int) (Banded, error) {
+	if len(preds) != len(residuals) {
+		return Banded{}, errors.New("conf: preds/residuals length mismatch")
+	}
+	if len(residuals) == 0 {
+		return Banded{}, ErrNoResiduals
+	}
+	const minPerBand = 25
+	if nBands > len(residuals)/minPerBand {
+		nBands = len(residuals) / minPerBand
+	}
+	if nBands < 1 {
+		nBands = 1
+	}
+	type pair struct{ pred, res float64 }
+	pairs := make([]pair, len(preds))
+	for i := range preds {
+		pairs[i] = pair{preds[i], residuals[i]}
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].pred < pairs[j].pred })
+	b := Banded{P: p}
+	n := len(pairs)
+	for k := 0; k < nBands; k++ {
+		lo, hi := k*n/nBands, (k+1)*n/nBands
+		band := pairs[lo:hi]
+		res := make([]float64, len(band))
+		for i, pr := range band {
+			res[i] = pr.res
+		}
+		iv, err := FromResiduals(res, p)
+		if err != nil {
+			return Banded{}, err
+		}
+		b.Bands = append(b.Bands, iv)
+		if k < nBands-1 {
+			b.Edges = append(b.Edges, pairs[hi-1].pred)
+		}
+	}
+	return b, nil
+}
+
+// band returns the interval whose prediction range contains pred.
+func (b Banded) band(pred float64) Interval {
+	for i, e := range b.Edges {
+		if pred <= e {
+			return b.Bands[i]
+		}
+	}
+	return b.Bands[len(b.Bands)-1]
+}
+
+// Upper returns the banded conservative upper bound for a prediction.
+func (b Banded) Upper(pred float64) float64 { return b.band(pred).Upper(pred) }
+
+// Lower returns the banded conservative lower bound for a prediction.
+func (b Banded) Lower(pred float64) float64 { return b.band(pred).Lower(pred) }
+
+// Upper returns the conservative upper bound for a prediction
+// (used for QoS degradation, where overshooting the budget is the risk).
+func (iv Interval) Upper(pred float64) float64 { return pred + iv.HalfWidth }
+
+// Lower returns the conservative lower bound for a prediction
+// (used for speedup, where over-promising benefit is the risk).
+func (iv Interval) Lower(pred float64) float64 { return pred - iv.HalfWidth }
+
+// Contains reports whether truth falls inside the band around pred.
+func (iv Interval) Contains(pred, truth float64) bool {
+	return math.Abs(truth-pred) <= iv.HalfWidth
+}
+
+// Coverage returns the fraction of (pred, truth) pairs the band contains —
+// a direct empirical check that the band achieves its nominal level.
+func (iv Interval) Coverage(preds, truths []float64) (float64, error) {
+	if len(preds) != len(truths) {
+		return 0, errors.New("conf: length mismatch")
+	}
+	if len(preds) == 0 {
+		return math.NaN(), nil
+	}
+	in := 0
+	for i := range preds {
+		if iv.Contains(preds[i], truths[i]) {
+			in++
+		}
+	}
+	return float64(in) / float64(len(preds)), nil
+}

@@ -1,0 +1,132 @@
+package conf
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromResidualsErrors(t *testing.T) {
+	if _, err := FromResiduals(nil, 0.99); !errors.Is(err, ErrNoResiduals) {
+		t.Fatalf("err = %v, want ErrNoResiduals", err)
+	}
+	if _, err := FromResiduals([]float64{1}, 0); err == nil {
+		t.Fatal("want error for p = 0")
+	}
+	if _, err := FromResiduals([]float64{1}, 1.5); err == nil {
+		t.Fatal("want error for p > 1")
+	}
+}
+
+func TestFullConfidenceIsMaxAbs(t *testing.T) {
+	iv, err := FromResiduals([]float64{-3, 1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.HalfWidth != 3 {
+		t.Fatalf("HalfWidth = %g, want 3", iv.HalfWidth)
+	}
+}
+
+func TestMedianQuantile(t *testing.T) {
+	iv, err := FromResiduals([]float64{1, 2, 3, 4}, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv.HalfWidth != 2 {
+		t.Fatalf("HalfWidth = %g, want 2", iv.HalfWidth)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	iv := Interval{HalfWidth: 0.5, P: 0.99}
+	if iv.Upper(2) != 2.5 || iv.Lower(2) != 1.5 {
+		t.Fatalf("Upper/Lower wrong: %g, %g", iv.Upper(2), iv.Lower(2))
+	}
+	if !iv.Contains(2, 2.4) || iv.Contains(2, 2.6) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestCoverage(t *testing.T) {
+	iv := Interval{HalfWidth: 1}
+	cov, err := iv.Coverage([]float64{0, 0, 0, 0}, []float64{0.5, -0.5, 2, -2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cov != 0.5 {
+		t.Fatalf("Coverage = %g, want 0.5", cov)
+	}
+	if _, err := iv.Coverage([]float64{1}, nil); err == nil {
+		t.Fatal("want length error")
+	}
+	empty, err := iv.Coverage(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(empty) {
+		t.Fatal("empty coverage should be NaN")
+	}
+}
+
+// Property: the band built at level p from a residual sample covers at
+// least fraction p of that same sample.
+func TestNominalCoverageProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(500)
+		res := make([]float64, n)
+		preds := make([]float64, n)
+		truths := make([]float64, n)
+		for i := 0; i < n; i++ {
+			res[i] = rng.NormFloat64() * (1 + rng.Float64()*5)
+			// preds stay zero so truth - pred is exactly the residual
+			// (adding a random pred would perturb the boundary residual by
+			// a ulp and flip exact quantile coverage).
+			truths[i] = res[i]
+		}
+		for _, p := range []float64{0.5, 0.9, 0.99} {
+			iv, err := FromResiduals(res, p)
+			if err != nil {
+				return false
+			}
+			cov, err := iv.Coverage(preds, truths)
+			if err != nil || cov < p-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: HalfWidth is monotone in p.
+func TestMonotoneInP(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(100)
+		res := make([]float64, n)
+		for i := range res {
+			res[i] = rng.NormFloat64()
+		}
+		prev := -1.0
+		for _, p := range []float64{0.1, 0.3, 0.5, 0.7, 0.9, 1.0} {
+			iv, err := FromResiduals(res, p)
+			if err != nil {
+				return false
+			}
+			if iv.HalfWidth < prev {
+				return false
+			}
+			prev = iv.HalfWidth
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

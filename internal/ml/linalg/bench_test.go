@@ -1,0 +1,61 @@
+package linalg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchMatrix(rows, cols int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func BenchmarkQRFactor100x20(b *testing.B) {
+	a := benchMatrix(100, 20, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := FactorQR(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLeastSquares200x30(b *testing.B) {
+	a := benchMatrix(200, 30, 2)
+	rhs := benchMatrix(200, 1, 3).Col(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := LeastSquares(a, rhs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCholesky50(b *testing.B) {
+	g := benchMatrix(60, 50, 4)
+	a, _ := g.T().Mul(g)
+	for i := 0; i < 50; i++ {
+		a.Data[i*50+i] += 1
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cholesky(a); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMatMul64(b *testing.B) {
+	x := benchMatrix(64, 64, 5)
+	y := benchMatrix(64, 64, 6)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := x.Mul(y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol*(1+math.Abs(a)+math.Abs(b))
+}
+
+func TestNewMatrixZeroed(t *testing.T) {
+	m := NewMatrix(3, 4)
+	if m.Rows != 3 || m.Cols != 4 {
+		t.Fatalf("dims = %dx%d, want 3x4", m.Rows, m.Cols)
+	}
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("Data[%d] = %g, want 0", i, v)
+		}
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m, err := FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.At(2, 1) != 6 {
+		t.Fatalf("At(2,1) = %g, want 6", m.At(2, 1))
+	}
+}
+
+func TestFromRowsRagged(t *testing.T) {
+	if _, err := FromRows([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("want error for ragged rows")
+	}
+}
+
+func TestFromRowsEmpty(t *testing.T) {
+	m, err := FromRows(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows != 0 || m.Cols != 0 {
+		t.Fatalf("dims = %dx%d, want 0x0", m.Rows, m.Cols)
+	}
+}
+
+func TestAtSetRoundTrip(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(1, 2, 42)
+	if got := m.At(1, 2); got != 42 {
+		t.Fatalf("At(1,2) = %g, want 42", got)
+	}
+}
+
+func TestAtPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic for out-of-range index")
+		}
+	}()
+	NewMatrix(2, 2).At(2, 0)
+}
+
+func TestRowColCopies(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	r := m.Row(0)
+	r[0] = 99
+	if m.At(0, 0) != 1 {
+		t.Fatal("Row must return a copy")
+	}
+	c := m.Col(1)
+	if c[0] != 2 || c[1] != 4 {
+		t.Fatalf("Col(1) = %v, want [2 4]", c)
+	}
+	c[0] = 99
+	if m.At(0, 1) != 2 {
+		t.Fatal("Col must return a copy")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("T dims = %dx%d, want 3x2", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("T mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMulIdentity(t *testing.T) {
+	m, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	p, err := m.Mul(Identity(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.Data {
+		if p.Data[i] != m.Data[i] {
+			t.Fatalf("M·I != M at %d", i)
+		}
+	}
+}
+
+func TestMulKnown(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {3, 4}})
+	b, _ := FromRows([][]float64{{5, 6}, {7, 8}})
+	p, err := a.Mul(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{{19, 22}, {43, 50}}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			if p.At(i, j) != want[i][j] {
+				t.Fatalf("(%d,%d) = %g, want %g", i, j, p.At(i, j), want[i][j])
+			}
+		}
+	}
+}
+
+func TestMulDimensionMismatch(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(2, 3)
+	if _, err := a.Mul(b); err == nil {
+		t.Fatal("want dimension error")
+	}
+	if _, err := a.MulVec([]float64{1, 2}); err == nil {
+		t.Fatal("want vec dimension error")
+	}
+}
+
+func TestMulVecKnown(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	y, err := a.MulVec([]float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 6 || y[1] != 15 {
+		t.Fatalf("MulVec = %v, want [6 15]", y)
+	}
+}
+
+func TestDotAndNorm(t *testing.T) {
+	if Dot([]float64{1, 2, 3}, []float64{4, 5, 6}) != 32 {
+		t.Fatal("Dot wrong")
+	}
+	if !almostEqual(Norm2([]float64{3, 4}), 5, 1e-12) {
+		t.Fatal("Norm2 wrong")
+	}
+	if Norm2(nil) != 0 {
+		t.Fatal("Norm2(nil) should be 0")
+	}
+}
+
+func TestNorm2Overflow(t *testing.T) {
+	big := math.MaxFloat64 / 2
+	got := Norm2([]float64{big, big})
+	if math.IsInf(got, 0) || math.IsNaN(got) {
+		t.Fatalf("Norm2 overflowed: %g", got)
+	}
+}
+
+// Property: (Aᵀ)ᵀ == A.
+func TestTransposeInvolution(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomMatrix(rng, 1+rng.Intn(6), 1+rng.Intn(6))
+		tt := m.T().T()
+		for i := range m.Data {
+			if tt.Data[i] != m.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: (A·B)ᵀ == Bᵀ·Aᵀ.
+func TestMulTransposeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, k, n := 1+rng.Intn(5), 1+rng.Intn(5), 1+rng.Intn(5)
+		a := randomMatrix(rng, m, k)
+		b := randomMatrix(rng, k, n)
+		ab, err := a.Mul(b)
+		if err != nil {
+			return false
+		}
+		btat, err := b.T().Mul(a.T())
+		if err != nil {
+			return false
+		}
+		abt := ab.T()
+		for i := range abt.Data {
+			if !almostEqual(abt.Data[i], btat.Data[i], 1e-10) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}

@@ -1,0 +1,197 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// QR holds a Householder QR factorization of an m×n matrix with m >= n.
+// A = Q·R where Q is m×m orthogonal (stored implicitly as Householder
+// reflectors) and R is n×n upper triangular.
+type QR struct {
+	qr   *Matrix   // packed reflectors below the diagonal, R on and above
+	rdia []float64 // diagonal of R
+}
+
+// FactorQR computes the Householder QR factorization of a.
+// a is not modified.
+func FactorQR(a *Matrix) (*QR, error) {
+	if a.Rows < a.Cols {
+		return nil, fmt.Errorf("linalg: QR requires rows >= cols, got %dx%d", a.Rows, a.Cols)
+	}
+	m, n := a.Rows, a.Cols
+	qr := a.Clone()
+	rdia := make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Norm of the k-th column below (and including) the diagonal.
+		nrm := 0.0
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, qr.Data[i*n+k])
+		}
+		if nrm == 0 {
+			rdia[k] = 0
+			continue
+		}
+		if qr.Data[k*n+k] < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < m; i++ {
+			qr.Data[i*n+k] /= nrm
+		}
+		qr.Data[k*n+k]++
+		// Apply the reflector to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += qr.Data[i*n+k] * qr.Data[i*n+j]
+			}
+			s = -s / qr.Data[k*n+k]
+			for i := k; i < m; i++ {
+				qr.Data[i*n+j] += s * qr.Data[i*n+k]
+			}
+		}
+		rdia[k] = -nrm
+	}
+	return &QR{qr: qr, rdia: rdia}, nil
+}
+
+// FullRank reports whether R has no (near-)zero diagonal entries.
+func (f *QR) FullRank() bool {
+	for _, d := range f.rdia {
+		if math.Abs(d) < 1e-12 {
+			return false
+		}
+	}
+	return true
+}
+
+// Solve returns the least-squares solution x minimizing ||A·x - b||₂.
+func (f *QR) Solve(b []float64) ([]float64, error) {
+	m, n := f.qr.Rows, f.qr.Cols
+	if len(b) != m {
+		return nil, fmt.Errorf("linalg: QR solve rhs length %d, want %d", len(b), m)
+	}
+	if !f.FullRank() {
+		return nil, ErrSingular
+	}
+	y := make([]float64, m)
+	copy(y, b)
+	// Apply Qᵀ to b.
+	for k := 0; k < n; k++ {
+		if f.qr.Data[k*n+k] == 0 {
+			continue
+		}
+		s := 0.0
+		for i := k; i < m; i++ {
+			s += f.qr.Data[i*n+k] * y[i]
+		}
+		s = -s / f.qr.Data[k*n+k]
+		for i := k; i < m; i++ {
+			y[i] += s * f.qr.Data[i*n+k]
+		}
+	}
+	// Back-substitute R·x = y[:n].
+	x := make([]float64, n)
+	for k := n - 1; k >= 0; k-- {
+		s := y[k]
+		for j := k + 1; j < n; j++ {
+			s -= f.qr.Data[k*n+j] * x[j]
+		}
+		x[k] = s / f.rdia[k]
+	}
+	return x, nil
+}
+
+// LeastSquares solves min ||A·x - b||₂ via Householder QR.
+func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	f, err := FactorQR(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// Cholesky computes the lower-triangular L with A = L·Lᵀ for a symmetric
+// positive-definite matrix. Returns ErrSingular when A is not positive
+// definite.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: Cholesky requires a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.Data[i*n+j]
+			for k := 0; k < j; k++ {
+				s -= l.Data[i*n+k] * l.Data[j*n+k]
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, ErrSingular
+				}
+				l.Data[i*n+i] = math.Sqrt(s)
+			} else {
+				l.Data[i*n+j] = s / l.Data[j*n+j]
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves A·x = b given the Cholesky factor L of A.
+func SolveCholesky(l *Matrix, b []float64) ([]float64, error) {
+	n := l.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: Cholesky solve rhs length %d, want %d", len(b), n)
+	}
+	// Forward: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.Data[i*n+k] * y[k]
+		}
+		y[i] = s / l.Data[i*n+i]
+	}
+	// Backward: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.Data[k*n+i] * x[k]
+		}
+		x[i] = s / l.Data[i*n+i]
+	}
+	return x, nil
+}
+
+// RidgeSolve solves the ridge-regularized normal equations
+// (AᵀA + λI)·x = Aᵀb. λ must be >= 0; with λ == 0 this is plain OLS via
+// the normal equations (used as a fallback when QR reports rank
+// deficiency, with a tiny λ supplied by the caller).
+func RidgeSolve(a *Matrix, b []float64, lambda float64) ([]float64, error) {
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("linalg: ridge rhs length %d, want %d", len(b), a.Rows)
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("linalg: negative ridge lambda %g", lambda)
+	}
+	at := a.T()
+	ata, err := at.Mul(a)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < ata.Rows; i++ {
+		ata.Data[i*ata.Cols+i] += lambda
+	}
+	atb, err := at.MulVec(b)
+	if err != nil {
+		return nil, err
+	}
+	l, err := Cholesky(ata)
+	if err != nil {
+		return nil, err
+	}
+	return SolveCholesky(l, atb)
+}

@@ -1,0 +1,208 @@
+package linalg
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Square well-conditioned system: solution should be exact.
+	a, _ := FromRows([][]float64{{2, 1}, {1, 3}})
+	x, err := LeastSquares(a, []float64{5, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x + y = 5, x + 3y = 10 → x = 1, y = 3.
+	if !almostEqual(x[0], 1, 1e-10) || !almostEqual(x[1], 3, 1e-10) {
+		t.Fatalf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = 2t + 1 through noiseless points: exact recovery.
+	ts := []float64{0, 1, 2, 3, 4}
+	rows := make([][]float64, len(ts))
+	b := make([]float64, len(ts))
+	for i, tv := range ts {
+		rows[i] = []float64{1, tv}
+		b[i] = 1 + 2*tv
+	}
+	a, _ := FromRows(rows)
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 1, 1e-10) || !almostEqual(x[1], 2, 1e-10) {
+		t.Fatalf("x = %v, want [1 2]", x)
+	}
+}
+
+func TestLeastSquaresSingular(t *testing.T) {
+	// Duplicate columns → rank deficient.
+	a, _ := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	if _, err := LeastSquares(a, []float64{1, 2, 3}); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestQRUnderdetermined(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := FactorQR(a); err == nil {
+		t.Fatal("want error for rows < cols")
+	}
+}
+
+func TestQRSolveBadRHS(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	f, err := FactorQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Solve([]float64{1, 2}); err == nil {
+		t.Fatal("want rhs length error")
+	}
+}
+
+func TestCholeskyKnown(t *testing.T) {
+	a, _ := FromRows([][]float64{{4, 2}, {2, 3}})
+	l, err := Cholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// L = [[2,0],[1,sqrt(2)]]
+	if !almostEqual(l.At(0, 0), 2, 1e-12) || !almostEqual(l.At(1, 0), 1, 1e-12) {
+		t.Fatalf("L = %v", l)
+	}
+	x, err := SolveCholesky(l, []float64{10, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Verify A·x = b.
+	b, _ := a.MulVec(x)
+	if !almostEqual(b[0], 10, 1e-10) || !almostEqual(b[1], 8, 1e-10) {
+		t.Fatalf("A·x = %v, want [10 8]", b)
+	}
+}
+
+func TestCholeskyNotPD(t *testing.T) {
+	a, _ := FromRows([][]float64{{1, 2}, {2, 1}}) // indefinite
+	if _, err := Cholesky(a); !errors.Is(err, ErrSingular) {
+		t.Fatalf("err = %v, want ErrSingular", err)
+	}
+}
+
+func TestCholeskyNonSquare(t *testing.T) {
+	if _, err := Cholesky(NewMatrix(2, 3)); err == nil {
+		t.Fatal("want error for non-square matrix")
+	}
+}
+
+func TestRidgeSolveShrinks(t *testing.T) {
+	// Ridge with a huge lambda should shrink coefficients toward zero.
+	a, _ := FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}})
+	b := []float64{2, 2, 4}
+	x0, err := RidgeSolve(a, b, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xBig, err := RidgeSolve(a, b, 1e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Norm2(xBig) >= Norm2(x0) {
+		t.Fatalf("ridge did not shrink: |x0|=%g |xBig|=%g", Norm2(x0), Norm2(xBig))
+	}
+}
+
+func TestRidgeSolveNegativeLambda(t *testing.T) {
+	a := Identity(2)
+	if _, err := RidgeSolve(a, []float64{1, 1}, -1); err == nil {
+		t.Fatal("want error for negative lambda")
+	}
+}
+
+func TestRidgeHandlesRankDeficiency(t *testing.T) {
+	// Duplicate columns: OLS fails, ridge with small lambda succeeds.
+	a, _ := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	x, err := RidgeSolve(a, []float64{2, 4, 6}, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any x with x0+x1 ≈ 2 fits; prediction at row [1,1] should be ≈ 2.
+	if !almostEqual(x[0]+x[1], 2, 1e-3) {
+		t.Fatalf("x0+x1 = %g, want ≈2", x[0]+x[1])
+	}
+}
+
+// Property: least squares on a consistent full-rank system reproduces b.
+func TestLeastSquaresResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		m := n + rng.Intn(4)
+		a := randomMatrix(rng, m, n)
+		xTrue := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = rng.NormFloat64()
+		}
+		b, err := a.MulVec(xTrue)
+		if err != nil {
+			return false
+		}
+		x, err := LeastSquares(a, b)
+		if errors.Is(err, ErrSingular) {
+			return true // random matrix can be near-singular; skip
+		}
+		if err != nil {
+			return false
+		}
+		got, err := a.MulVec(x)
+		if err != nil {
+			return false
+		}
+		for i := range b {
+			if !almostEqual(got[i], b[i], 1e-7) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Cholesky factor satisfies L·Lᵀ == A for random SPD matrices.
+func TestCholeskyReconstructionProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		g := randomMatrix(rng, n+2, n)
+		a, err := g.T().Mul(g) // GᵀG is SPD (a.s. full rank for m>n)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			a.Data[i*n+i] += 0.5 // guarantee positive definiteness
+		}
+		l, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		llt, err := l.Mul(l.T())
+		if err != nil {
+			return false
+		}
+		for i := range a.Data {
+			if !almostEqual(llt.Data[i], a.Data[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,23 @@
+package mic
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkScore500(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 500
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64()
+		ys[i] = xs[i]*xs[i] + rng.NormFloat64()*0.05
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Score(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,163 @@
+// Package mic approximates the Maximal Information Coefficient of
+// Reshef et al. (Science, 2011), which OPPROX uses to filter out input
+// features that carry no association with the model target (paper §3.7).
+//
+// The exact MINE algorithm searches all grid partitions with x·y < B(n)
+// cells, optimizing one axis by dynamic programming. This package uses the
+// standard equicharacteristic approximation: for every grid shape (kx, ky)
+// with kx·ky <= B(n), both axes are partitioned into equal-frequency bins
+// and the normalized mutual information I(kx,ky)/log2(min(kx,ky)) is
+// maximized over shapes. This keeps the two properties the OPPROX pipeline
+// relies on: values near 0 for independent variables and near 1 for
+// noiseless functional relationships, monotone in association strength.
+package mic
+
+import (
+	"errors"
+	"math"
+	"sort"
+)
+
+// ErrTooFewSamples reports that MIC needs more data points.
+var ErrTooFewSamples = errors.New("mic: need at least 4 samples")
+
+// Score returns the approximate MIC of paired samples (xs, ys), in [0, 1].
+func Score(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		return 0, errors.New("mic: length mismatch")
+	}
+	n := len(xs)
+	if n < 4 {
+		return 0, ErrTooFewSamples
+	}
+	if isConstant(xs) || isConstant(ys) {
+		// A constant variable carries no information about anything.
+		return 0, nil
+	}
+	// B(n) = n^0.6, the exponent recommended by Reshef et al.
+	b := int(math.Pow(float64(n), 0.6))
+	if b < 4 {
+		b = 4
+	}
+	best := 0.0
+	for kx := 2; kx <= b/2; kx++ {
+		maxKy := b / kx
+		if maxKy < 2 {
+			break
+		}
+		xa := equiFreqAssign(xs, kx)
+		for ky := 2; ky <= maxKy; ky++ {
+			ya := equiFreqAssign(ys, ky)
+			mi := mutualInformation(xa, ya, kx, ky)
+			norm := math.Log2(float64(min(kx, ky)))
+			if norm <= 0 {
+				continue
+			}
+			if v := mi / norm; v > best {
+				best = v
+			}
+		}
+	}
+	if best > 1 {
+		best = 1
+	}
+	return best, nil
+}
+
+func isConstant(v []float64) bool {
+	for _, x := range v[1:] {
+		if x != v[0] {
+			return false
+		}
+	}
+	return true
+}
+
+// equiFreqAssign assigns each sample to one of k equal-frequency bins.
+// Ties share the bin of their sorted position's bucket, computed over a
+// rank transform so duplicated values land in adjacent bins.
+func equiFreqAssign(v []float64, k int) []int {
+	n := len(v)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return v[order[a]] < v[order[b]] })
+	bins := make([]int, n)
+	for rank, idx := range order {
+		bins[idx] = rank * k / n
+	}
+	// Equal values must map to the same bin (otherwise ties leak rank
+	// information): collapse runs of equal values to the bin of their first
+	// occurrence.
+	for i := 1; i < n; i++ {
+		a, b := order[i-1], order[i]
+		if v[a] == v[b] {
+			bins[b] = bins[a]
+		}
+	}
+	return bins
+}
+
+func mutualInformation(xa, ya []int, kx, ky int) float64 {
+	n := len(xa)
+	joint := make([]int, kx*ky)
+	px := make([]int, kx)
+	py := make([]int, ky)
+	for i := 0; i < n; i++ {
+		joint[xa[i]*ky+ya[i]]++
+		px[xa[i]]++
+		py[ya[i]]++
+	}
+	fn := float64(n)
+	mi := 0.0
+	for ix := 0; ix < kx; ix++ {
+		for iy := 0; iy < ky; iy++ {
+			c := joint[ix*ky+iy]
+			if c == 0 {
+				continue
+			}
+			pxy := float64(c) / fn
+			mi += pxy * math.Log2(pxy/((float64(px[ix])/fn)*(float64(py[iy])/fn)))
+		}
+	}
+	if mi < 0 {
+		mi = 0
+	}
+	return mi
+}
+
+// FilterFeatures returns the indices of columns of xs whose MIC with ys is
+// at least threshold. Column-constant features are always dropped.
+// When every feature is filtered out, the single highest-scoring feature is
+// retained so downstream regression always has at least one input.
+func FilterFeatures(xs [][]float64, ys []float64, threshold float64) ([]int, []float64, error) {
+	if len(xs) == 0 {
+		return nil, nil, errors.New("mic: no samples")
+	}
+	nf := len(xs[0])
+	col := make([]float64, len(xs))
+	var keep []int
+	scores := make([]float64, nf)
+	bestIdx, bestScore := -1, -1.0
+	for j := 0; j < nf; j++ {
+		for i, row := range xs {
+			col[i] = row[j]
+		}
+		s, err := Score(col, ys)
+		if err != nil {
+			return nil, nil, err
+		}
+		scores[j] = s
+		if s > bestScore {
+			bestScore, bestIdx = s, j
+		}
+		if s >= threshold {
+			keep = append(keep, j)
+		}
+	}
+	if len(keep) == 0 && bestIdx >= 0 {
+		keep = append(keep, bestIdx)
+	}
+	return keep, scores, nil
+}

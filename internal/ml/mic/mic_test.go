@@ -1,0 +1,190 @@
+package mic
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func samples(n int, rng *rand.Rand, f func(x float64) float64) (xs, ys []float64) {
+	for i := 0; i < n; i++ {
+		x := rng.Float64()*4 - 2
+		xs = append(xs, x)
+		ys = append(ys, f(x))
+	}
+	return xs, ys
+}
+
+func TestScoreErrors(t *testing.T) {
+	if _, err := Score([]float64{1, 2}, []float64{1}); err == nil {
+		t.Fatal("want length mismatch error")
+	}
+	if _, err := Score([]float64{1, 2, 3}, []float64{1, 2, 3}); !errors.Is(err, ErrTooFewSamples) {
+		t.Fatalf("err = %v, want ErrTooFewSamples", err)
+	}
+}
+
+func TestConstantIsZero(t *testing.T) {
+	xs := make([]float64, 50)
+	ys := make([]float64, 50)
+	rng := rand.New(rand.NewSource(1))
+	for i := range ys {
+		ys[i] = rng.Float64()
+		xs[i] = 7
+	}
+	s, err := Score(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 0 {
+		t.Fatalf("constant feature score = %g, want 0", s)
+	}
+}
+
+func TestLinearRelationHigh(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs, ys := samples(400, rng, func(x float64) float64 { return 3*x - 1 })
+	s, err := Score(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0.9 {
+		t.Fatalf("linear MIC = %g, want >= 0.9", s)
+	}
+}
+
+func TestQuadraticRelationHigh(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	xs, ys := samples(400, rng, func(x float64) float64 { return x * x })
+	s, err := Score(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0.7 {
+		t.Fatalf("quadratic MIC = %g, want >= 0.7", s)
+	}
+}
+
+func TestIndependenceLow(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 500
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	s, err := Score(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s > 0.35 {
+		t.Fatalf("independent MIC = %g, want small", s)
+	}
+}
+
+func TestSignalBeatsNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	xs, ys := samples(400, rng, math.Sin)
+	sig, err := Score(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noise := make([]float64, len(ys))
+	for i := range noise {
+		noise[i] = rng.NormFloat64()
+	}
+	ind, err := Score(xs, noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sig <= ind {
+		t.Fatalf("sin score %g <= noise score %g", sig, ind)
+	}
+}
+
+func TestScoreInRange(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(200)
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xs[i] = rng.NormFloat64()
+			ys[i] = rng.NormFloat64()*0.5 + xs[i]*float64(seed%3)
+		}
+		s, err := Score(xs, ys)
+		return err == nil && s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScoreSymmetryLoose(t *testing.T) {
+	// Equal-frequency binning is symmetric in roles, so Score(x,y) and
+	// Score(y,x) should agree.
+	rng := rand.New(rand.NewSource(6))
+	xs, ys := samples(300, rng, func(x float64) float64 { return x*x*x - x })
+	a, err := Score(xs, ys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Score(ys, xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-b) > 1e-9 {
+		t.Fatalf("asymmetric: %g vs %g", a, b)
+	}
+}
+
+func TestFilterFeatures(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	n := 300
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		rel := rng.Float64() * 2
+		irr := rng.Float64()
+		cst := 3.0
+		xs[i] = []float64{rel, irr, cst}
+		ys[i] = rel*rel + 1
+	}
+	keep, scores, err := FilterFeatures(xs, ys, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keep) != 1 || keep[0] != 0 {
+		t.Fatalf("keep = %v (scores %v), want [0]", keep, scores)
+	}
+	if scores[2] != 0 {
+		t.Fatalf("constant feature score = %g, want 0", scores[2])
+	}
+}
+
+func TestFilterKeepsBestWhenAllBelowThreshold(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	n := 200
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = []float64{rng.Float64(), rng.Float64()}
+		ys[i] = rng.Float64()
+	}
+	keep, _, err := FilterFeatures(xs, ys, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keep) != 1 {
+		t.Fatalf("keep = %v, want exactly one fallback feature", keep)
+	}
+}
+
+func TestFilterNoSamples(t *testing.T) {
+	if _, _, err := FilterFeatures(nil, nil, 0.5); err == nil {
+		t.Fatal("want error for empty input")
+	}
+}

@@ -1,0 +1,348 @@
+package poly
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestExpansionTermCount(t *testing.T) {
+	// C(n+d, d) terms for n features, degree d.
+	cases := []struct{ n, d, want int }{
+		{1, 2, 3},  // 1, x, x²
+		{2, 2, 6},  // 1, x0, x1, x0², x0x1, x1²
+		{3, 2, 10}, //
+		{2, 3, 10},
+		{2, 0, 1},
+	}
+	for _, c := range cases {
+		e, err := NewExpansion(c.n, c.d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if e.NumTerms() != c.want {
+			t.Errorf("n=%d d=%d: %d terms, want %d", c.n, c.d, e.NumTerms(), c.want)
+		}
+	}
+}
+
+func TestExpansionConstantFirst(t *testing.T) {
+	e, _ := NewExpansion(3, 2)
+	if e.Terms[0].Degree() != 0 {
+		t.Fatalf("first term degree = %d, want 0", e.Terms[0].Degree())
+	}
+	if e.Terms[0].String() != "1" {
+		t.Fatalf("first term = %q, want \"1\"", e.Terms[0].String())
+	}
+}
+
+func TestExpansionBadArgs(t *testing.T) {
+	if _, err := NewExpansion(0, 2); err == nil {
+		t.Fatal("want error for 0 features")
+	}
+	if _, err := NewExpansion(2, -1); err == nil {
+		t.Fatal("want error for negative degree")
+	}
+}
+
+func TestTermEvalAndString(t *testing.T) {
+	tm := Term{Powers: []int{2, 0, 1}}
+	if got := tm.Eval([]float64{3, 5, 2}); got != 18 {
+		t.Fatalf("Eval = %g, want 18", got)
+	}
+	if tm.String() != "x0^2*x2" {
+		t.Fatalf("String = %q", tm.String())
+	}
+}
+
+func TestTransformLengthMismatch(t *testing.T) {
+	e, _ := NewExpansion(2, 2)
+	if _, err := e.Transform([]float64{1}); err == nil {
+		t.Fatal("want error for wrong input length")
+	}
+}
+
+func TestFitRecoversQuadratic(t *testing.T) {
+	// y = 3 + 2x0 - x1 + 0.5*x0*x1 + x0²
+	f := func(x []float64) float64 { return 3 + 2*x[0] - x[1] + 0.5*x[0]*x[1] + x[0]*x[0] }
+	rng := rand.New(rand.NewSource(1))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 60; i++ {
+		x := []float64{rng.Float64() * 4, rng.Float64() * 4}
+		xs = append(xs, x)
+		ys = append(ys, f(x))
+	}
+	m, err := Fit(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TrainR2 < 0.999999 {
+		t.Fatalf("TrainR2 = %g, want ~1", m.TrainR2)
+	}
+	probe := []float64{1.5, 2.5}
+	if got, want := m.Predict(probe), f(probe); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("Predict = %g, want %g", got, want)
+	}
+}
+
+func TestFitErrors(t *testing.T) {
+	if _, err := Fit(nil, nil, 2); err == nil {
+		t.Fatal("want error for no samples")
+	}
+	if _, err := Fit([][]float64{{1}}, []float64{1, 2}, 1); err == nil {
+		t.Fatal("want error for length mismatch")
+	}
+	// 3 samples can't support a degree-2 basis over 2 features (6 terms).
+	xs := [][]float64{{1, 2}, {2, 3}, {3, 4}}
+	_, err := Fit(xs, []float64{1, 2, 3}, 2)
+	if !errors.Is(err, ErrTooFewSamples) {
+		t.Fatalf("err = %v, want ErrTooFewSamples", err)
+	}
+}
+
+func TestFitRaggedSample(t *testing.T) {
+	xs := [][]float64{{1, 2}, {2}}
+	if _, err := Fit(xs, []float64{1, 2}, 1); err == nil {
+		t.Fatal("want error for ragged samples")
+	}
+}
+
+func TestFitConstantFeature(t *testing.T) {
+	// One feature never varies; fit should still succeed (ridge fallback).
+	var xs [][]float64
+	var ys []float64
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 30; i++ {
+		x := []float64{rng.Float64(), 5}
+		xs = append(xs, x)
+		ys = append(ys, 2*x[0]+1)
+	}
+	m, err := Fit(xs, ys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.TrainR2 < 0.999 {
+		t.Fatalf("TrainR2 = %g", m.TrainR2)
+	}
+}
+
+func TestR2Properties(t *testing.T) {
+	truth := []float64{1, 2, 3, 4}
+	if got := R2(truth, truth); got != 1 {
+		t.Fatalf("perfect R2 = %g", got)
+	}
+	mean := []float64{2.5, 2.5, 2.5, 2.5}
+	if got := R2(truth, mean); math.Abs(got) > 1e-12 {
+		t.Fatalf("mean-prediction R2 = %g, want 0", got)
+	}
+	if got := R2([]float64{5, 5}, []float64{5, 5}); got != 1 {
+		t.Fatalf("constant truth matched: R2 = %g, want 1", got)
+	}
+	if got := R2([]float64{5, 5}, []float64{1, 9}); got != 0 {
+		t.Fatalf("constant truth mismatched: R2 = %g, want 0", got)
+	}
+	if !math.IsNaN(R2(nil, nil)) {
+		t.Fatal("empty R2 should be NaN")
+	}
+}
+
+func TestCrossValidateHighForTrueModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 100; i++ {
+		x := []float64{rng.Float64() * 2, rng.Float64() * 2}
+		xs = append(xs, x)
+		ys = append(ys, 1+x[0]+3*x[1]+0.01*rng.NormFloat64())
+	}
+	score, err := CrossValidate(xs, ys, 1, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if score < 0.99 {
+		t.Fatalf("CV score = %g, want > 0.99", score)
+	}
+}
+
+func TestCrossValidateErrors(t *testing.T) {
+	xs := [][]float64{{1}, {2}, {3}}
+	ys := []float64{1, 2, 3}
+	if _, err := CrossValidate(xs, ys, 1, 1, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("want error for k < 2")
+	}
+	if _, err := CrossValidate(xs, ys, 1, 10, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("want error for n < k")
+	}
+}
+
+func TestAutoFitPicksSufficientDegree(t *testing.T) {
+	// Cubic target: degree search should land on >= 3 and achieve target.
+	rng := rand.New(rand.NewSource(5))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 200; i++ {
+		x := []float64{rng.Float64()*4 - 2}
+		xs = append(xs, x)
+		ys = append(ys, x[0]*x[0]*x[0]-2*x[0])
+	}
+	res, err := AutoFit(xs, ys, 0.95, 6, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Achieved {
+		t.Fatalf("target not achieved: degree=%d score=%g", res.Degree, res.CVScore)
+	}
+	if res.Degree < 3 {
+		t.Fatalf("degree = %d, want >= 3", res.Degree)
+	}
+}
+
+func TestAutoFitUnachievableFallsBack(t *testing.T) {
+	// Pure noise: no degree reaches 0.99; AutoFit must still return a model.
+	rng := rand.New(rand.NewSource(11))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 80; i++ {
+		xs = append(xs, []float64{rng.Float64()})
+		ys = append(ys, rng.NormFloat64())
+	}
+	res, err := AutoFit(xs, ys, 0.99, 4, 5, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Achieved {
+		t.Fatal("noise fit should not achieve R2 target")
+	}
+	if res.Model == nil {
+		t.Fatal("fallback model missing")
+	}
+}
+
+func TestAutoFitBadDegree(t *testing.T) {
+	if _, err := AutoFit([][]float64{{1}}, []float64{1}, 0.9, 0, 5, rand.New(rand.NewSource(1))); err == nil {
+		t.Fatal("want error for maxDegree < 1")
+	}
+}
+
+func TestResiduals(t *testing.T) {
+	xs := [][]float64{{0}, {1}, {2}, {3}}
+	ys := []float64{1, 3, 5, 7} // y = 2x+1
+	m, err := Fit(xs, ys, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range m.Residuals(xs, ys) {
+		if math.Abs(r) > 1e-9 {
+			t.Fatalf("residual[%d] = %g, want ~0", i, r)
+		}
+	}
+}
+
+// Property: a model fit on noiseless samples from a random polynomial of
+// degree <= 2 predicts held-out points of that polynomial.
+func TestFitGeneralizationProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := []float64{rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(),
+			rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()}
+		truth := func(x []float64) float64 {
+			return c[0] + c[1]*x[0] + c[2]*x[1] + c[3]*x[0]*x[0] + c[4]*x[0]*x[1] + c[5]*x[1]*x[1]
+		}
+		var xs [][]float64
+		var ys []float64
+		for i := 0; i < 40; i++ {
+			x := []float64{rng.Float64()*2 - 1, rng.Float64()*2 - 1}
+			xs = append(xs, x)
+			ys = append(ys, truth(x))
+		}
+		m, err := Fit(xs, ys, 2)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < 10; i++ {
+			x := []float64{rng.Float64()*2 - 1, rng.Float64()*2 - 1}
+			if math.Abs(m.Predict(x)-truth(x)) > 1e-5*(1+math.Abs(truth(x))) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistinctCaps(t *testing.T) {
+	xs := [][]float64{
+		{1, 0.1, 5},
+		{2, 0.2, 5},
+		{1, 0.3, 5},
+		{2, 0.4, 5},
+	}
+	caps := DistinctCaps(xs, 3)
+	if caps[0] != 1 {
+		t.Fatalf("two-valued column cap = %d, want 1", caps[0])
+	}
+	if caps[1] != -1 {
+		t.Fatalf("four-valued column with maxDiscrete 3 should be unlimited, got %d", caps[1])
+	}
+	if caps[2] != 0 {
+		t.Fatalf("constant column cap = %d, want 0", caps[2])
+	}
+	if DistinctCaps(nil, 3) != nil {
+		t.Fatal("empty input should return nil")
+	}
+}
+
+func TestCappedExpansionRespectsCaps(t *testing.T) {
+	e, err := NewExpansionCapped(2, 3, []int{1, -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, term := range e.Terms {
+		if term.Powers[0] > 1 {
+			t.Fatalf("term %v exceeds cap on feature 0", term)
+		}
+	}
+	// Feature 1 is unlimited: a pure x1^3 term must exist.
+	found := false
+	for _, term := range e.Terms {
+		if term.Powers[0] == 0 && term.Powers[1] == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("uncapped feature lost its cubic term")
+	}
+	if _, err := NewExpansionCapped(2, 2, []int{1}); err == nil {
+		t.Fatal("want error for cap length mismatch")
+	}
+}
+
+func TestCapsPreventInterpolationBlowup(t *testing.T) {
+	// A feature with only two training values must not grow wild
+	// high-degree terms that explode at interpolated points.
+	rng := rand.New(rand.NewSource(9))
+	var xs [][]float64
+	var ys []float64
+	for i := 0; i < 120; i++ {
+		a := float64(10 + 10*(i%2)) // only ever 10 or 20
+		b := rng.Float64() * 3
+		xs = append(xs, []float64{a, b})
+		ys = append(ys, a+b*b)
+	}
+	m, err := Fit(xs, ys, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probe the midpoint of the discrete axis — uncapped degree-4 fits
+	// oscillate wildly here.
+	got := m.Predict([]float64{15, 1.5})
+	want := 15 + 1.5*1.5
+	if math.Abs(got-want) > 2 {
+		t.Fatalf("interpolated prediction %g, want ≈%g", got, want)
+	}
+}

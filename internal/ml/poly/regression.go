@@ -1,0 +1,339 @@
+package poly
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"opprox/internal/ml/linalg"
+)
+
+// Model is a fitted polynomial regression model.
+type Model struct {
+	Expansion *Expansion
+	Coeffs    []float64
+	// Standardization applied to raw inputs before expansion. Fitting on
+	// standardized features keeps high-degree expansions well conditioned.
+	Mean, Scale []float64
+	// TrainR2 is the coefficient of determination on the training set.
+	TrainR2 float64
+}
+
+// ErrTooFewSamples reports that there are fewer samples than basis terms.
+var ErrTooFewSamples = errors.New("poly: fewer samples than basis terms")
+
+// Fit fits a polynomial of the given degree to (xs, ys) by least squares,
+// falling back to a lightly regularized ridge solve when the expanded
+// design matrix is rank deficient. Per-feature exponents are automatically
+// capped at (#distinct values - 1) observed in xs — higher powers are
+// collinear at the sample points and oscillate freely between them.
+func Fit(xs [][]float64, ys []float64, degree int) (*Model, error) {
+	return FitRidge(xs, ys, degree, 0)
+}
+
+// DistinctCaps returns, per feature column, the exponent cap
+// (#distinct values - 1), with -1 (unlimited) for columns that look
+// continuous (more than maxDiscrete distinct values).
+func DistinctCaps(xs [][]float64, maxDiscrete int) []int {
+	if len(xs) == 0 {
+		return nil
+	}
+	nf := len(xs[0])
+	caps := make([]int, nf)
+	for j := 0; j < nf; j++ {
+		seen := map[float64]bool{}
+		for _, x := range xs {
+			if j >= len(x) {
+				continue // ragged row: Fit reports the error later
+			}
+			seen[x[j]] = true
+			if len(seen) > maxDiscrete {
+				break
+			}
+		}
+		if len(seen) == 0 {
+			caps[j] = -1
+			continue
+		}
+		if len(seen) > maxDiscrete {
+			caps[j] = -1
+		} else {
+			caps[j] = len(seen) - 1
+		}
+	}
+	return caps
+}
+
+// FitRidge is Fit with an explicit ridge penalty lambda (0 = OLS first,
+// ridge fallback).
+func FitRidge(xs [][]float64, ys []float64, degree int, lambda float64) (*Model, error) {
+	if len(xs) == 0 {
+		return nil, errors.New("poly: no training samples")
+	}
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("poly: %d inputs but %d targets", len(xs), len(ys))
+	}
+	nf := len(xs[0])
+	exp, err := NewExpansionCapped(nf, degree, DistinctCaps(xs, 12))
+	if err != nil {
+		return nil, err
+	}
+	if len(xs) < exp.NumTerms() {
+		return nil, fmt.Errorf("%w: %d samples for %d terms (degree %d, %d features)",
+			ErrTooFewSamples, len(xs), exp.NumTerms(), degree, nf)
+	}
+	mean, scale := standardization(xs)
+	design := linalg.NewMatrix(len(xs), exp.NumTerms())
+	buf := make([]float64, nf)
+	for i, x := range xs {
+		if len(x) != nf {
+			return nil, fmt.Errorf("poly: sample %d has %d features, want %d", i, len(x), nf)
+		}
+		standardize(buf, x, mean, scale)
+		row, err := exp.Transform(buf)
+		if err != nil {
+			return nil, err
+		}
+		copy(design.Data[i*design.Cols:(i+1)*design.Cols], row)
+	}
+	var coeffs []float64
+	if lambda > 0 {
+		coeffs, err = linalg.RidgeSolve(design, ys, lambda)
+	} else {
+		coeffs, err = linalg.LeastSquares(design, ys)
+		if errors.Is(err, linalg.ErrSingular) {
+			coeffs, err = linalg.RidgeSolve(design, ys, 1e-8)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{Expansion: exp, Coeffs: coeffs, Mean: mean, Scale: scale}
+	pred := make([]float64, len(xs))
+	for i, x := range xs {
+		pred[i] = m.Predict(x)
+	}
+	m.TrainR2 = R2(ys, pred)
+	return m, nil
+}
+
+// Predict evaluates the model at x.
+func (m *Model) Predict(x []float64) float64 {
+	buf := make([]float64, len(x))
+	standardize(buf, x, m.Mean, m.Scale)
+	s := 0.0
+	for i, t := range m.Expansion.Terms {
+		s += m.Coeffs[i] * t.Eval(buf)
+	}
+	return s
+}
+
+// PredictAll evaluates the model at every row of xs.
+func (m *Model) PredictAll(xs [][]float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = m.Predict(x)
+	}
+	return out
+}
+
+// Residuals returns y - prediction for every training pair supplied.
+func (m *Model) Residuals(xs [][]float64, ys []float64) []float64 {
+	res := make([]float64, len(xs))
+	for i, x := range xs {
+		res[i] = ys[i] - m.Predict(x)
+	}
+	return res
+}
+
+func standardization(xs [][]float64) (mean, scale []float64) {
+	nf := len(xs[0])
+	mean = make([]float64, nf)
+	scale = make([]float64, nf)
+	for _, x := range xs {
+		for j, v := range x {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(len(xs))
+	}
+	for _, x := range xs {
+		for j, v := range x {
+			d := v - mean[j]
+			scale[j] += d * d
+		}
+	}
+	for j := range scale {
+		scale[j] = math.Sqrt(scale[j] / float64(len(xs)))
+		if scale[j] < 1e-12 {
+			scale[j] = 1 // constant feature: leave centered at zero
+		}
+	}
+	return mean, scale
+}
+
+func standardize(dst, x, mean, scale []float64) {
+	for j, v := range x {
+		dst[j] = (v - mean[j]) / scale[j]
+	}
+}
+
+// R2 returns the coefficient of determination of pred against truth.
+// A perfect prediction scores 1; predicting the mean scores 0. When the
+// truth is constant, R2 returns 1 if predictions match it and 0 otherwise.
+func R2(truth, pred []float64) float64 {
+	if len(truth) != len(pred) || len(truth) == 0 {
+		return math.NaN()
+	}
+	mean := 0.0
+	for _, v := range truth {
+		mean += v
+	}
+	mean /= float64(len(truth))
+	ssRes, ssTot := 0.0, 0.0
+	for i, v := range truth {
+		d := v - pred[i]
+		ssRes += d * d
+		m := v - mean
+		ssTot += m * m
+	}
+	if ssTot < 1e-30 {
+		if ssRes < 1e-12 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// CrossValidate runs k-fold cross validation at the given degree and
+// returns the mean out-of-fold R². Folds are assigned by a deterministic
+// shuffle of the provided rng.
+func CrossValidate(xs [][]float64, ys []float64, degree, k int, rng *rand.Rand) (float64, error) {
+	if k < 2 {
+		return 0, fmt.Errorf("poly: k-fold needs k >= 2, got %d", k)
+	}
+	n := len(xs)
+	if n < k {
+		return 0, fmt.Errorf("poly: %d samples for %d folds", n, k)
+	}
+	perm := rng.Perm(n)
+	scores := make([]float64, 0, k)
+	for fold := 0; fold < k; fold++ {
+		var trX, teX [][]float64
+		var trY, teY []float64
+		for i, idx := range perm {
+			if i%k == fold {
+				teX = append(teX, xs[idx])
+				teY = append(teY, ys[idx])
+			} else {
+				trX = append(trX, xs[idx])
+				trY = append(trY, ys[idx])
+			}
+		}
+		m, err := Fit(trX, trY, degree)
+		if err != nil {
+			return 0, err
+		}
+		scores = append(scores, R2(teY, m.PredictAll(teX)))
+	}
+	sum := 0.0
+	for _, s := range scores {
+		sum += s
+	}
+	return sum / float64(len(scores)), nil
+}
+
+// OutOfFoldResiduals returns one residual (truth - prediction) per sample,
+// each computed by a model that did not train on that sample (k-fold).
+// These are the honest residuals confidence intervals should be built from.
+func OutOfFoldResiduals(xs [][]float64, ys []float64, degree, k int, rng *rand.Rand) ([]float64, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("poly: k-fold needs k >= 2, got %d", k)
+	}
+	n := len(xs)
+	if n < k {
+		return nil, fmt.Errorf("poly: %d samples for %d folds", n, k)
+	}
+	perm := rng.Perm(n)
+	res := make([]float64, n)
+	for fold := 0; fold < k; fold++ {
+		var trX [][]float64
+		var trY []float64
+		var teIdx []int
+		for i, idx := range perm {
+			if i%k == fold {
+				teIdx = append(teIdx, idx)
+			} else {
+				trX = append(trX, xs[idx])
+				trY = append(trY, ys[idx])
+			}
+		}
+		m, err := Fit(trX, trY, degree)
+		if err != nil {
+			return nil, err
+		}
+		for _, idx := range teIdx {
+			res[idx] = ys[idx] - m.Predict(xs[idx])
+		}
+	}
+	return res, nil
+}
+
+// AutoFitResult reports what the degree search selected.
+type AutoFitResult struct {
+	Model    *Model
+	Degree   int
+	CVScore  float64
+	Achieved bool // true when CVScore >= the requested target
+}
+
+// AutoFit raises the polynomial degree from 1 to maxDegree until k-fold
+// cross validation reaches targetR2 (paper §3.7), then refits on all data
+// at the chosen degree. If no degree reaches the target, the degree with
+// the best CV score is used and Achieved is false.
+func AutoFit(xs [][]float64, ys []float64, targetR2 float64, maxDegree, folds int, rng *rand.Rand) (*AutoFitResult, error) {
+	if maxDegree < 1 {
+		return nil, fmt.Errorf("poly: maxDegree must be >= 1, got %d", maxDegree)
+	}
+	bestDeg, bestScore := 0, math.Inf(-1)
+	caps := DistinctCaps(xs, 12)
+	for deg := 1; deg <= maxDegree; deg++ {
+		exp, err := NewExpansionCapped(len(xs[0]), deg, caps)
+		if err != nil {
+			return nil, err
+		}
+		// Need enough samples in the training folds for this basis.
+		trainSize := len(xs) - len(xs)/folds
+		if trainSize < exp.NumTerms() {
+			break
+		}
+		score, err := CrossValidate(xs, ys, deg, folds, rng)
+		if err != nil {
+			if errors.Is(err, ErrTooFewSamples) {
+				break
+			}
+			return nil, err
+		}
+		if score > bestScore {
+			bestScore, bestDeg = score, deg
+		}
+		if score >= targetR2 {
+			m, err := Fit(xs, ys, deg)
+			if err != nil {
+				return nil, err
+			}
+			return &AutoFitResult{Model: m, Degree: deg, CVScore: score, Achieved: true}, nil
+		}
+	}
+	if bestDeg == 0 {
+		return nil, fmt.Errorf("poly: not enough samples (%d) to fit even degree 1", len(xs))
+	}
+	m, err := Fit(xs, ys, bestDeg)
+	if err != nil {
+		return nil, err
+	}
+	return &AutoFitResult{Model: m, Degree: bestDeg, CVScore: bestScore, Achieved: false}, nil
+}

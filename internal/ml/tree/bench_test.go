@@ -1,0 +1,44 @@
+package tree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+func benchLabelled(n int, seed int64) ([][]float64, []string) {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([][]float64, n)
+	labels := make([]string, n)
+	for i := 0; i < n; i++ {
+		x := []float64{rng.Float64() * 10, rng.Float64() * 10, rng.Float64()}
+		xs[i] = x
+		labels[i] = fmt.Sprint(int(x[0])/3, int(x[1])/5)
+	}
+	return xs, labels
+}
+
+func BenchmarkTreeFit(b *testing.B) {
+	xs, labels := benchLabelled(600, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Fit(xs, labels, Options{MinLeafSize: 2}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreePredict(b *testing.B) {
+	xs, labels := benchLabelled(600, 2)
+	c, err := Fit(xs, labels, Options{MinLeafSize: 2})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Predict(xs[i%len(xs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

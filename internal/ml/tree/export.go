@@ -1,0 +1,89 @@
+package tree
+
+import "errors"
+
+// NodeDTO is the serializable form of one tree node.
+type NodeDTO struct {
+	Feature   int      `json:"feature,omitempty"`
+	Threshold float64  `json:"threshold,omitempty"`
+	Leaf      bool     `json:"leaf,omitempty"`
+	Label     string   `json:"label,omitempty"`
+	Count     int      `json:"count,omitempty"`
+	Left      *NodeDTO `json:"left,omitempty"`
+	Right     *NodeDTO `json:"right,omitempty"`
+}
+
+// ClassifierDTO is the serializable form of a fitted classifier, suitable
+// for JSON round-tripping (model persistence, paper §4.2).
+type ClassifierDTO struct {
+	NFeatures int      `json:"n_features"`
+	Classes   []string `json:"classes"`
+	Root      *NodeDTO `json:"root"`
+}
+
+// Export converts the classifier into its serializable form.
+func (c *Classifier) Export() *ClassifierDTO {
+	return &ClassifierDTO{
+		NFeatures: c.nFeatures,
+		Classes:   append([]string(nil), c.classes...),
+		Root:      exportNode(c.root),
+	}
+}
+
+func exportNode(n *node) *NodeDTO {
+	if n == nil {
+		return nil
+	}
+	return &NodeDTO{
+		Feature:   n.feature,
+		Threshold: n.threshold,
+		Leaf:      n.leaf,
+		Label:     n.label,
+		Count:     n.count,
+		Left:      exportNode(n.left),
+		Right:     exportNode(n.right),
+	}
+}
+
+// FromDTO rebuilds a classifier from its serializable form.
+func FromDTO(d *ClassifierDTO) (*Classifier, error) {
+	if d == nil || d.Root == nil {
+		return nil, errors.New("tree: empty classifier export")
+	}
+	if d.NFeatures < 1 {
+		return nil, errors.New("tree: exported classifier has no features")
+	}
+	root, err := importNode(d.Root)
+	if err != nil {
+		return nil, err
+	}
+	return &Classifier{
+		root:      root,
+		nFeatures: d.NFeatures,
+		classes:   append([]string(nil), d.Classes...),
+	}, nil
+}
+
+func importNode(d *NodeDTO) (*node, error) {
+	n := &node{
+		feature:   d.Feature,
+		threshold: d.Threshold,
+		leaf:      d.Leaf,
+		label:     d.Label,
+		count:     d.Count,
+	}
+	if n.leaf {
+		return n, nil
+	}
+	if d.Left == nil || d.Right == nil {
+		return nil, errors.New("tree: internal node missing a child")
+	}
+	var err error
+	if n.left, err = importNode(d.Left); err != nil {
+		return nil, err
+	}
+	if n.right, err = importNode(d.Right); err != nil {
+		return nil, err
+	}
+	return n, nil
+}

@@ -1,0 +1,296 @@
+// Package tree implements a CART-style decision-tree classifier.
+//
+// OPPROX uses a decision tree to predict which control-flow path (sequence
+// of approximable blocks) an application takes for a given combination of
+// input parameters (paper §3.4). Features are continuous; labels are
+// arbitrary strings (control-flow class identifiers).
+package tree
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Classifier is a fitted decision tree.
+type Classifier struct {
+	root      *node
+	nFeatures int
+	classes   []string
+}
+
+type node struct {
+	// Internal nodes split on feature < threshold.
+	feature   int
+	threshold float64
+	left      *node
+	right     *node
+	// Leaves predict a label.
+	leaf  bool
+	label string
+	count int // training samples that reached this leaf
+}
+
+// Options controls tree growth.
+type Options struct {
+	MaxDepth    int // 0 means unlimited
+	MinLeafSize int // minimum samples per leaf; 0 means 1
+}
+
+// ErrNoData reports an empty training set.
+var ErrNoData = errors.New("tree: no training samples")
+
+// Fit grows a classification tree on (xs, labels) using Gini impurity.
+func Fit(xs [][]float64, labels []string, opts Options) (*Classifier, error) {
+	if len(xs) == 0 {
+		return nil, ErrNoData
+	}
+	if len(xs) != len(labels) {
+		return nil, fmt.Errorf("tree: %d inputs but %d labels", len(xs), len(labels))
+	}
+	nf := len(xs[0])
+	for i, x := range xs {
+		if len(x) != nf {
+			return nil, fmt.Errorf("tree: sample %d has %d features, want %d", i, len(x), nf)
+		}
+	}
+	if opts.MinLeafSize < 1 {
+		opts.MinLeafSize = 1
+	}
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	c := &Classifier{nFeatures: nf, classes: uniqueLabels(labels)}
+	c.root = grow(xs, labels, idx, opts, 0)
+	return c, nil
+}
+
+func uniqueLabels(labels []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, l := range labels {
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func grow(xs [][]float64, labels []string, idx []int, opts Options, depth int) *node {
+	maj, pure := majority(labels, idx)
+	if pure || len(idx) < 2*opts.MinLeafSize || (opts.MaxDepth > 0 && depth >= opts.MaxDepth) {
+		return &node{leaf: true, label: maj, count: len(idx)}
+	}
+	feat, thr, gain := bestSplit(xs, labels, idx, opts.MinLeafSize)
+	if gain <= 1e-12 {
+		// No immediate Gini gain, but the node is impure. Greedy CART is
+		// blind to parity-style structure (e.g. XOR) whose first split has
+		// zero gain, so fall back to a median split on any non-constant
+		// feature and let deeper splits find the structure. Recursion
+		// terminates because both children are strictly smaller.
+		feat, thr = fallbackSplit(xs, idx, opts.MinLeafSize)
+		if feat < 0 {
+			return &node{leaf: true, label: maj, count: len(idx)}
+		}
+	}
+	var li, ri []int
+	for _, i := range idx {
+		if xs[i][feat] < thr {
+			li = append(li, i)
+		} else {
+			ri = append(ri, i)
+		}
+	}
+	if len(li) == 0 || len(ri) == 0 {
+		return &node{leaf: true, label: maj, count: len(idx)}
+	}
+	return &node{
+		feature:   feat,
+		threshold: thr,
+		left:      grow(xs, labels, li, opts, depth+1),
+		right:     grow(xs, labels, ri, opts, depth+1),
+	}
+}
+
+// fallbackSplit picks a median equal-frequency split on the first feature
+// with more than one distinct value such that both sides satisfy minLeaf.
+// Returns feature -1 when no such split exists.
+func fallbackSplit(xs [][]float64, idx []int, minLeaf int) (int, float64) {
+	nf := len(xs[idx[0]])
+	order := make([]int, len(idx))
+	for f := 0; f < nf; f++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return xs[order[a]][f] < xs[order[b]][f] })
+		// Try the most balanced valid cut point first, then widen out.
+		mid := len(order) / 2
+		for off := 0; off < len(order); off++ {
+			for _, pos := range []int{mid + off, mid - off} {
+				if pos < 1 || pos >= len(order) {
+					continue
+				}
+				lo, hi := xs[order[pos-1]][f], xs[order[pos]][f]
+				if lo == hi {
+					continue
+				}
+				if pos < minLeaf || len(order)-pos < minLeaf {
+					continue
+				}
+				return f, (lo + hi) / 2
+			}
+		}
+	}
+	return -1, 0
+}
+
+func majority(labels []string, idx []int) (string, bool) {
+	counts := map[string]int{}
+	for _, i := range idx {
+		counts[labels[i]]++
+	}
+	best, bestN := "", -1
+	for l, n := range counts {
+		if n > bestN || (n == bestN && l < best) {
+			best, bestN = l, n
+		}
+	}
+	return best, len(counts) == 1
+}
+
+func gini(counts map[string]int, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, n := range counts {
+		p := float64(n) / float64(total)
+		g -= p * p
+	}
+	return g
+}
+
+// bestSplit scans every feature and every midpoint between consecutive
+// distinct values, maximizing Gini gain.
+func bestSplit(xs [][]float64, labels []string, idx []int, minLeaf int) (feat int, thr, gain float64) {
+	total := len(idx)
+	parentCounts := map[string]int{}
+	for _, i := range idx {
+		parentCounts[labels[i]]++
+	}
+	parentGini := gini(parentCounts, total)
+	bestGain := 0.0
+	bestFeat, bestThr := -1, 0.0
+	nf := len(xs[idx[0]])
+	order := make([]int, len(idx))
+	for f := 0; f < nf; f++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return xs[order[a]][f] < xs[order[b]][f] })
+		leftCounts := map[string]int{}
+		rightCounts := map[string]int{}
+		for l, n := range parentCounts {
+			rightCounts[l] = n
+		}
+		for pos := 0; pos < total-1; pos++ {
+			l := labels[order[pos]]
+			leftCounts[l]++
+			rightCounts[l]--
+			nl, nr := pos+1, total-pos-1
+			if xs[order[pos]][f] == xs[order[pos+1]][f] {
+				continue // can't split between equal values
+			}
+			if nl < minLeaf || nr < minLeaf {
+				continue
+			}
+			g := parentGini -
+				(float64(nl)*gini(leftCounts, nl)+float64(nr)*gini(rightCounts, nr))/float64(total)
+			if g > bestGain {
+				bestGain = g
+				bestFeat = f
+				bestThr = (xs[order[pos]][f] + xs[order[pos+1]][f]) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return 0, 0, 0
+	}
+	return bestFeat, bestThr, bestGain
+}
+
+// Predict returns the label for x.
+func (c *Classifier) Predict(x []float64) (string, error) {
+	if len(x) != c.nFeatures {
+		return "", fmt.Errorf("tree: input has %d features, tree expects %d", len(x), c.nFeatures)
+	}
+	n := c.root
+	for !n.leaf {
+		if x[n.feature] < n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.label, nil
+}
+
+// Classes returns the sorted set of labels seen at training time.
+func (c *Classifier) Classes() []string {
+	out := make([]string, len(c.classes))
+	copy(out, c.classes)
+	return out
+}
+
+// Accuracy scores the classifier on a labelled set.
+func (c *Classifier) Accuracy(xs [][]float64, labels []string) (float64, error) {
+	if len(xs) != len(labels) {
+		return 0, fmt.Errorf("tree: %d inputs but %d labels", len(xs), len(labels))
+	}
+	if len(xs) == 0 {
+		return math.NaN(), nil
+	}
+	hit := 0
+	for i, x := range xs {
+		got, err := c.Predict(x)
+		if err != nil {
+			return 0, err
+		}
+		if got == labels[i] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(xs)), nil
+}
+
+// Depth returns the depth of the fitted tree (a single leaf has depth 0).
+func (c *Classifier) Depth() int { return depthOf(c.root) }
+
+func depthOf(n *node) int {
+	if n == nil || n.leaf {
+		return 0
+	}
+	l, r := depthOf(n.left), depthOf(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}
+
+// String renders the tree structure for debugging.
+func (c *Classifier) String() string {
+	var sb strings.Builder
+	var walk func(n *node, indent string)
+	walk = func(n *node, indent string) {
+		if n.leaf {
+			fmt.Fprintf(&sb, "%sleaf %q (n=%d)\n", indent, n.label, n.count)
+			return
+		}
+		fmt.Fprintf(&sb, "%sx%d < %.6g ?\n", indent, n.feature, n.threshold)
+		walk(n.left, indent+"  ")
+		walk(n.right, indent+"  ")
+	}
+	walk(c.root, "")
+	return sb.String()
+}

@@ -1,0 +1,220 @@
+package tree
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitEmpty(t *testing.T) {
+	if _, err := Fit(nil, nil, Options{}); !errors.Is(err, ErrNoData) {
+		t.Fatalf("err = %v, want ErrNoData", err)
+	}
+}
+
+func TestFitMismatchedLengths(t *testing.T) {
+	if _, err := Fit([][]float64{{1}}, []string{"a", "b"}, Options{}); err == nil {
+		t.Fatal("want length mismatch error")
+	}
+}
+
+func TestFitRagged(t *testing.T) {
+	if _, err := Fit([][]float64{{1, 2}, {3}}, []string{"a", "b"}, Options{}); err == nil {
+		t.Fatal("want ragged error")
+	}
+}
+
+func TestSingleClass(t *testing.T) {
+	c, err := Fit([][]float64{{1}, {2}, {3}}, []string{"a", "a", "a"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Predict([]float64{99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "a" {
+		t.Fatalf("Predict = %q, want a", got)
+	}
+	if c.Depth() != 0 {
+		t.Fatalf("Depth = %d, want 0", c.Depth())
+	}
+}
+
+func TestAxisAlignedSplit(t *testing.T) {
+	// Perfectly separable on feature 0 at threshold 5.
+	var xs [][]float64
+	var labels []string
+	for i := 0; i < 20; i++ {
+		xs = append(xs, []float64{float64(i), 0})
+		if i < 10 {
+			labels = append(labels, "low")
+		} else {
+			labels = append(labels, "high")
+		}
+	}
+	c, err := Fit(xs, labels, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := c.Accuracy(xs, labels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc != 1 {
+		t.Fatalf("training accuracy = %g, want 1", acc)
+	}
+	if got, _ := c.Predict([]float64{3, 0}); got != "low" {
+		t.Fatalf("Predict(3) = %q", got)
+	}
+	if got, _ := c.Predict([]float64{17, 0}); got != "high" {
+		t.Fatalf("Predict(17) = %q", got)
+	}
+}
+
+func TestXORNeedsDepthTwo(t *testing.T) {
+	xs := [][]float64{{0, 0}, {0, 1}, {1, 0}, {1, 1}}
+	labels := []string{"a", "b", "b", "a"}
+	// Replicate so splits have mass.
+	var XS [][]float64
+	var LS []string
+	for r := 0; r < 5; r++ {
+		XS = append(XS, xs...)
+		LS = append(LS, labels...)
+	}
+	c, err := Fit(XS, LS, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, _ := c.Accuracy(XS, LS)
+	if acc != 1 {
+		t.Fatalf("XOR accuracy = %g, want 1", acc)
+	}
+	if c.Depth() < 2 {
+		t.Fatalf("XOR depth = %d, want >= 2", c.Depth())
+	}
+}
+
+func TestMaxDepthRespected(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var xs [][]float64
+	var labels []string
+	for i := 0; i < 200; i++ {
+		x := []float64{rng.Float64(), rng.Float64()}
+		xs = append(xs, x)
+		if (x[0] > 0.5) != (x[1] > 0.5) {
+			labels = append(labels, "a")
+		} else {
+			labels = append(labels, "b")
+		}
+	}
+	c, err := Fit(xs, labels, Options{MaxDepth: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Depth() > 1 {
+		t.Fatalf("Depth = %d, want <= 1", c.Depth())
+	}
+}
+
+func TestMinLeafSize(t *testing.T) {
+	var xs [][]float64
+	var labels []string
+	for i := 0; i < 10; i++ {
+		xs = append(xs, []float64{float64(i)})
+		if i == 0 {
+			labels = append(labels, "rare")
+		} else {
+			labels = append(labels, "common")
+		}
+	}
+	c, err := Fit(xs, labels, Options{MinLeafSize: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The single "rare" sample cannot form its own leaf.
+	if got, _ := c.Predict([]float64{0}); got != "common" {
+		t.Fatalf("Predict(0) = %q, want common (min leaf size)", got)
+	}
+}
+
+func TestPredictWrongWidth(t *testing.T) {
+	c, err := Fit([][]float64{{1, 2}, {3, 4}}, []string{"a", "b"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Predict([]float64{1}); err == nil {
+		t.Fatal("want width error")
+	}
+}
+
+func TestClasses(t *testing.T) {
+	c, err := Fit([][]float64{{1}, {2}, {3}}, []string{"b", "a", "b"}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := c.Classes()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Classes = %v", got)
+	}
+	got[0] = "mutated"
+	if c.Classes()[0] != "a" {
+		t.Fatal("Classes must return a copy")
+	}
+}
+
+func TestConstantFeatures(t *testing.T) {
+	// All features identical: tree must not loop, predicts majority.
+	xs := [][]float64{{1, 1}, {1, 1}, {1, 1}}
+	labels := []string{"a", "a", "b"}
+	c, err := Fit(xs, labels, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := c.Predict([]float64{1, 1}); got != "a" {
+		t.Fatalf("Predict = %q, want majority a", got)
+	}
+}
+
+func TestStringSmoke(t *testing.T) {
+	c, _ := Fit([][]float64{{0}, {1}}, []string{"a", "b"}, Options{})
+	if c.String() == "" {
+		t.Fatal("String should render something")
+	}
+}
+
+// Property: a tree fit on linearly separable data classifies its training
+// set perfectly.
+func TestSeparableProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		thr := rng.Float64()*10 - 5
+		var xs [][]float64
+		var labels []string
+		for i := 0; i < 50; i++ {
+			v := rng.Float64()*10 - 5
+			if v == thr {
+				continue
+			}
+			xs = append(xs, []float64{v, rng.NormFloat64()})
+			if v < thr {
+				labels = append(labels, "L")
+			} else {
+				labels = append(labels, "R")
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		c, err := Fit(xs, labels, Options{})
+		if err != nil {
+			return false
+		}
+		acc, err := c.Accuracy(xs, labels)
+		return err == nil && acc == 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,128 @@
+// Package qos implements the accuracy metrics the paper's benchmarks use
+// (paper §3.1, §4.1): the default relative "distortion" of Rinard (ICS'06)
+// for numerical outputs, PSNR for image/video outputs, and a
+// magnitude-weighted vector distortion for Bodytrack-style pose vectors.
+//
+// All degradation metrics share the convention: 0 means the approximate
+// output is identical to the exact output, larger is worse, and values are
+// expressed in percent so they compose directly with error budgets like
+// "5%". PSNR is the one higher-is-better metric and is kept in dB.
+package qos
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrLengthMismatch reports differently sized exact/approximate outputs.
+var ErrLengthMismatch = errors.New("qos: output length mismatch")
+
+// ErrEmptyOutput reports empty outputs.
+var ErrEmptyOutput = errors.New("qos: empty output")
+
+// Distortion returns the mean relative scaled difference between the exact
+// and approximate outputs, in percent:
+//
+//	100/n · Σ |approx_i - exact_i| / max(|exact_i|, floor)
+//
+// floor guards elements whose exact value is ~0 (where a relative error is
+// meaningless); it is set to the mean absolute magnitude of the exact
+// output, so near-zero elements are judged on the output's natural scale.
+func Distortion(exact, approx []float64) (float64, error) {
+	if len(exact) != len(approx) {
+		return 0, ErrLengthMismatch
+	}
+	if len(exact) == 0 {
+		return 0, ErrEmptyOutput
+	}
+	floor := 0.0
+	for _, v := range exact {
+		floor += math.Abs(v)
+	}
+	floor /= float64(len(exact))
+	if floor < 1e-300 {
+		floor = 1
+	}
+	sum := 0.0
+	for i, e := range exact {
+		den := math.Abs(e)
+		if den < floor {
+			den = floor
+		}
+		sum += math.Abs(approx[i]-e) / den
+	}
+	return 100 * sum / float64(len(exact)), nil
+}
+
+// WeightedVectorDistortion is the Bodytrack QoS metric (paper §4.1): the
+// distortion of pose vectors where each component's weight is proportional
+// to its magnitude, so large body parts influence the metric more. Returned
+// in percent.
+func WeightedVectorDistortion(exact, approx []float64) (float64, error) {
+	if len(exact) != len(approx) {
+		return 0, ErrLengthMismatch
+	}
+	if len(exact) == 0 {
+		return 0, ErrEmptyOutput
+	}
+	// With weights proportional to component magnitude, the weighted mean
+	// relative error collapses to Σ|approx-exact| / Σ|exact|: components
+	// that represent larger body parts dominate, exactly as described.
+	var totalMag, sum float64
+	for i, e := range exact {
+		totalMag += math.Abs(e)
+		sum += math.Abs(approx[i] - e)
+	}
+	if totalMag < 1e-300 {
+		if sum < 1e-300 {
+			return 0, nil
+		}
+		return 100, nil
+	}
+	return 100 * sum / totalMag, nil
+}
+
+// PSNR returns the peak signal-to-noise ratio in dB between an exact and
+// approximate signal, given the peak value of the signal's dynamic range
+// (e.g. 255 for 8-bit frames). Identical signals return +Inf.
+func PSNR(exact, approx []float64, peak float64) (float64, error) {
+	if len(exact) != len(approx) {
+		return 0, ErrLengthMismatch
+	}
+	if len(exact) == 0 {
+		return 0, ErrEmptyOutput
+	}
+	if peak <= 0 {
+		return 0, errors.New("qos: peak must be positive")
+	}
+	mse := 0.0
+	for i, e := range exact {
+		d := approx[i] - e
+		mse += d * d
+	}
+	mse /= float64(len(exact))
+	if mse == 0 {
+		return math.Inf(1), nil
+	}
+	return 10 * math.Log10(peak*peak/mse), nil
+}
+
+// PSNRToDegradation converts a PSNR measurement (dB, higher better) into
+// the uniform degradation scale (percent-like, lower better) used by the
+// optimizer: degradation = max(0, cap - psnr). cap is the PSNR above which
+// output is considered perfect (quantization-only noise). This mirrors the
+// paper's use of target PSNR values as "budgets" for FFmpeg (§5.3).
+func PSNRToDegradation(psnr, cap float64) float64 {
+	if math.IsInf(psnr, 1) || psnr >= cap {
+		return 0
+	}
+	return cap - psnr
+}
+
+// DegradationToPSNR inverts PSNRToDegradation.
+func DegradationToPSNR(deg, cap float64) float64 {
+	if deg <= 0 {
+		return cap
+	}
+	return cap - deg
+}

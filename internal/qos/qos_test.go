@@ -1,0 +1,197 @@
+package qos
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistortionIdentical(t *testing.T) {
+	x := []float64{1, -2, 3}
+	d, err := Distortion(x, x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d != 0 {
+		t.Fatalf("Distortion(x,x) = %g, want 0", d)
+	}
+}
+
+func TestDistortionKnown(t *testing.T) {
+	// exact {2, 4}: floor = 3; errors: |1-2|/max(2,3)=1/3, |4-4|=0 → mean 1/6 → 16.67%
+	d, err := Distortion([]float64{2, 4}, []float64{1, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-100.0/6) > 1e-9 {
+		t.Fatalf("Distortion = %g, want %g", d, 100.0/6)
+	}
+}
+
+func TestDistortionErrors(t *testing.T) {
+	if _, err := Distortion([]float64{1}, []float64{1, 2}); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Distortion(nil, nil); !errors.Is(err, ErrEmptyOutput) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestDistortionZeroExact(t *testing.T) {
+	// All-zero exact output must not divide by zero.
+	d, err := Distortion([]float64{0, 0}, []float64{1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsNaN(d) || math.IsInf(d, 0) {
+		t.Fatalf("Distortion = %g", d)
+	}
+}
+
+func TestWeightedVectorDistortion(t *testing.T) {
+	// Σ|diff|/Σ|exact| = (1+1)/(10+2) → 16.67%
+	d, err := WeightedVectorDistortion([]float64{10, 2}, []float64{11, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d-100*2.0/12) > 1e-9 {
+		t.Fatalf("WVD = %g", d)
+	}
+}
+
+func TestWeightedVectorDistortionLargeComponentsDominate(t *testing.T) {
+	exact := []float64{100, 1}
+	offBig, _ := WeightedVectorDistortion(exact, []float64{110, 1})
+	offSmall, _ := WeightedVectorDistortion(exact, []float64{100, 1.1})
+	if offBig <= offSmall {
+		t.Fatalf("large-component error (%g) should dominate small (%g)", offBig, offSmall)
+	}
+}
+
+func TestWeightedVectorDistortionDegenerate(t *testing.T) {
+	d, err := WeightedVectorDistortion([]float64{0, 0}, []float64{0, 0})
+	if err != nil || d != 0 {
+		t.Fatalf("d=%g err=%v", d, err)
+	}
+	d, err = WeightedVectorDistortion([]float64{0, 0}, []float64{1, 0})
+	if err != nil || d != 100 {
+		t.Fatalf("zero-exact nonzero-approx: d=%g err=%v", d, err)
+	}
+	if _, err := WeightedVectorDistortion([]float64{1}, []float64{}); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatal("want length mismatch")
+	}
+	if _, err := WeightedVectorDistortion(nil, nil); !errors.Is(err, ErrEmptyOutput) {
+		t.Fatal("want empty error")
+	}
+}
+
+func TestPSNRIdenticalIsInf(t *testing.T) {
+	x := []float64{10, 20, 30}
+	p, err := PSNR(x, x, 255)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(p, 1) {
+		t.Fatalf("PSNR identical = %g, want +Inf", p)
+	}
+}
+
+func TestPSNRKnown(t *testing.T) {
+	// MSE = 1, peak 255 → 10*log10(65025) ≈ 48.13 dB.
+	p, err := PSNR([]float64{0, 0}, []float64{1, -1}, 255)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(p-10*math.Log10(255*255)) > 1e-9 {
+		t.Fatalf("PSNR = %g", p)
+	}
+}
+
+func TestPSNRErrors(t *testing.T) {
+	if _, err := PSNR([]float64{1}, []float64{1, 2}, 255); !errors.Is(err, ErrLengthMismatch) {
+		t.Fatal("want mismatch error")
+	}
+	if _, err := PSNR(nil, nil, 255); !errors.Is(err, ErrEmptyOutput) {
+		t.Fatal("want empty error")
+	}
+	if _, err := PSNR([]float64{1}, []float64{1}, 0); err == nil {
+		t.Fatal("want peak error")
+	}
+}
+
+func TestPSNRDegradationRoundTrip(t *testing.T) {
+	if got := PSNRToDegradation(30, 50); got != 20 {
+		t.Fatalf("deg = %g, want 20", got)
+	}
+	if got := PSNRToDegradation(60, 50); got != 0 {
+		t.Fatalf("above-cap deg = %g, want 0", got)
+	}
+	if got := PSNRToDegradation(math.Inf(1), 50); got != 0 {
+		t.Fatalf("inf deg = %g, want 0", got)
+	}
+	if got := DegradationToPSNR(20, 50); got != 30 {
+		t.Fatalf("psnr = %g, want 30", got)
+	}
+	if got := DegradationToPSNR(0, 50); got != 50 {
+		t.Fatalf("psnr = %g, want 50", got)
+	}
+}
+
+// Property: distortion is non-negative and zero only for identical outputs
+// (up to the metric's floor behavior).
+func TestDistortionNonNegativeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		exact := make([]float64, n)
+		approx := make([]float64, n)
+		for i := 0; i < n; i++ {
+			exact[i] = rng.NormFloat64() * 10
+			approx[i] = exact[i] + rng.NormFloat64()
+		}
+		d, err := Distortion(exact, approx)
+		if err != nil || d < 0 || math.IsNaN(d) {
+			return false
+		}
+		d0, err := Distortion(exact, exact)
+		return err == nil && d0 == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: PSNR decreases as noise amplitude increases.
+func TestPSNRMonotoneProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(40)
+		exact := make([]float64, n)
+		noise := make([]float64, n)
+		for i := 0; i < n; i++ {
+			exact[i] = rng.Float64() * 255
+			noise[i] = rng.NormFloat64()
+		}
+		prev := math.Inf(1)
+		for _, amp := range []float64{0.5, 1, 2, 4} {
+			approx := make([]float64, n)
+			for i := range approx {
+				approx[i] = exact[i] + amp*noise[i]
+			}
+			p, err := PSNR(exact, approx, 255)
+			if err != nil {
+				return false
+			}
+			if p > prev {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

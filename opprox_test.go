@@ -1,0 +1,153 @@
+package opprox_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"opprox"
+)
+
+func TestBenchmarksMetadata(t *testing.T) {
+	names := map[string]bool{}
+	for _, a := range opprox.Benchmarks() {
+		if names[a.Name()] {
+			t.Fatalf("duplicate benchmark name %q", a.Name())
+		}
+		names[a.Name()] = true
+		if len(a.Blocks()) < 3 {
+			t.Fatalf("%s has %d blocks, want >= 3", a.Name(), len(a.Blocks()))
+		}
+	}
+	if len(names) != 5 {
+		t.Fatalf("benchmarks = %d, want 5", len(names))
+	}
+}
+
+func TestSystemRequiresTraining(t *testing.T) {
+	sys := opprox.New(opprox.PSO())
+	_, _, err := sys.Optimize(opprox.DefaultParams(opprox.PSO()), 10)
+	if err == nil {
+		t.Fatal("Optimize before Train must error")
+	}
+	if errors.Is(err, nil) {
+		t.Fatal("unreachable")
+	}
+}
+
+func TestSystemEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("training is seconds-long; skipped with -short")
+	}
+	app := opprox.PSO()
+	sys := opprox.New(app)
+	opts := opprox.DefaultOptions()
+	opts.Phases = 2
+	opts.JointSamplesPerPhase = 8
+	opts.MaxParamCombos = 3
+	opts.Folds = 5
+	if err := sys.Train(opts); err != nil {
+		t.Fatal(err)
+	}
+	p := opprox.DefaultParams(app)
+	sched, pred, err := sys.Optimize(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pred.Degradation > 10 {
+		t.Fatalf("predicted degradation %.2f exceeds budget", pred.Degradation)
+	}
+	ev, err := sys.Evaluate(p, sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Degradation > 10+1e-9 {
+		t.Fatalf("measured degradation %.2f exceeds budget", ev.Degradation)
+	}
+}
+
+func TestScheduleHelpers(t *testing.T) {
+	cfg := opprox.Config{1, 2}
+	s := opprox.UniformSchedule(3, cfg)
+	if s.Phases != 3 || s.Level(1, 1) != 2 {
+		t.Fatalf("UniformSchedule wrong: %s", s)
+	}
+	if !opprox.AccurateSchedule(2).IsAccurate() {
+		t.Fatal("AccurateSchedule not accurate")
+	}
+	sp := opprox.SinglePhaseSchedule(4, 2, cfg)
+	if sp.Level(2, 0) != 1 || sp.Level(0, 0) != 0 {
+		t.Fatal("SinglePhaseSchedule wrong")
+	}
+}
+
+func TestTechniqueNamesExported(t *testing.T) {
+	if opprox.Perforation.String() != "loop perforation" {
+		t.Fatal("technique re-export broken")
+	}
+	if opprox.BudgetPolicyROI.String() != "roi" {
+		t.Fatal("budget policy re-export broken")
+	}
+}
+
+func TestFacadeReExports(t *testing.T) {
+	if got := opprox.ReducePrecision(1.0/3.0, 5, 5); got == 1.0/3.0 {
+		t.Fatal("ReducePrecision re-export inert")
+	}
+	if opprox.PhaseOf(9, 10, 4) != 3 {
+		t.Fatal("PhaseOf re-export wrong")
+	}
+	ran := 0
+	opprox.Perforate(10, 1, func(int) { ran++ })
+	if ran != 5 {
+		t.Fatalf("Perforate re-export ran %d", ran)
+	}
+}
+
+func TestSaveLoadThroughFacade(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model; skipped with -short")
+	}
+	app := opprox.PSO()
+	sys := opprox.New(app)
+	opts := opprox.DefaultOptions()
+	opts.Phases = 2
+	opts.JointSamplesPerPhase = 6
+	opts.MaxParamCombos = 2
+	opts.Folds = 5
+	if err := sys.Train(opts); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sys.Models.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := opprox.LoadTrained(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := opprox.DefaultParams(app)
+	s1, _, err := sys.Models.Optimize(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _, err := loaded.Optimize(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.String() != s2.String() {
+		t.Fatal("loaded models optimize differently")
+	}
+}
+
+func TestSensitivityProfileFacade(t *testing.T) {
+	app := opprox.PSO()
+	runner := opprox.NewRunner(app)
+	profiles, err := opprox.SensitivityProfile(runner, opprox.DefaultParams(app), 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profiles) != len(app.Blocks()) {
+		t.Fatalf("profiles = %d, want %d", len(profiles), len(app.Blocks()))
+	}
+}
