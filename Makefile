@@ -1,0 +1,15 @@
+# Convenience wrappers; scripts/check.sh is the tier-1 gate CI runs.
+
+.PHONY: build test check bench
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+check:
+	sh scripts/check.sh
+
+bench:
+	go test -bench=. -benchmem

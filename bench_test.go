@@ -11,6 +11,8 @@
 package opprox_test
 
 import (
+	"context"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -104,3 +106,50 @@ func BenchmarkAblationIterFeature(b *testing.B) { benchExperiment(b, "ablation-i
 
 // BenchmarkAblationPhaseSearch runs Algorithm 1 per app.
 func BenchmarkAblationPhaseSearch(b *testing.B) { benchExperiment(b, "ablation-phasesearch") }
+
+// engineBenchIDs is the workload for the RunAll benchmarks: a
+// representative slice of the evaluation (single-app sweeps, a four-app
+// figure, a table, an ablation) rather than experiments.All(), whose
+// table2 alone retrains every app at four phase granularities and pushes
+// a single iteration past half an hour on one CPU. The subset exercises
+// the same engine paths — ordered emission, cross-experiment training
+// dedup, golden-cache sharing — at a tractable per-op cost.
+var engineBenchIDs = []string{
+	"fig2", "fig3", "fig7", "fig9", "table1", "ablation-phasesearch",
+}
+
+// benchRunAll regenerates the engineBenchIDs artifacts through the
+// experiment engine at a given parallelism, on the shared quick suite
+// (training and golden caches warm after the first iteration, so the
+// steady-state number is the cost of regenerating the artifacts — the
+// workload a user iterating on the evaluation actually pays).
+func benchRunAll(b *testing.B, parallelism int) {
+	b.Helper()
+	s := suite()
+	exps := make([]experiments.Experiment, 0, len(engineBenchIDs))
+	for _, id := range engineBenchIDs {
+		e, ok := experiments.ByID(id)
+		if !ok {
+			b.Fatalf("unknown experiment %q", id)
+		}
+		exps = append(exps, e)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results, err := experiments.RunAll(context.Background(), s, exps, parallelism)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(results) != len(exps) {
+			b.Fatalf("got %d results, want %d", len(results), len(exps))
+		}
+	}
+}
+
+// BenchmarkRunAllSerial is the baseline: the whole suite, one experiment
+// at a time (what cmd/opprox-experiments does without -parallel).
+func BenchmarkRunAllSerial(b *testing.B) { benchRunAll(b, 1) }
+
+// BenchmarkRunAllParallel runs the same workload with one worker per CPU
+// (cmd/opprox-experiments -parallel 0).
+func BenchmarkRunAllParallel(b *testing.B) { benchRunAll(b, runtime.NumCPU()) }

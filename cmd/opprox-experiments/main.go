@@ -7,18 +7,24 @@
 //	opprox-experiments                  # run everything (a few minutes)
 //	opprox-experiments -only fig14      # one artifact
 //	opprox-experiments -quick           # reduced sampling, for smoke runs
+//	opprox-experiments -parallel 4      # run experiments concurrently;
+//	                                    # output is byte-identical to serial
+//	opprox-experiments -metrics m.json  # write an observability snapshot
 //	opprox-experiments -list            # list artifact IDs
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"opprox/internal/experiments"
+	"opprox/internal/obs"
 )
 
 func main() {
@@ -30,6 +36,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "suite seed")
 	list := flag.Bool("list", false, "list experiment IDs and exit")
 	format := flag.String("format", "text", "output format: text or csv")
+	parallel := flag.Int("parallel", 1, "experiments run concurrently (0 = all CPUs); artifact output order and bytes are unchanged")
+	metrics := flag.String("metrics", "", "write a JSON metrics snapshot (cache hits, run counts, fit durations, run events) to this file")
 	flag.Parse()
 
 	if *list {
@@ -53,20 +61,46 @@ func main() {
 		}
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	start := time.Now()
-	for _, e := range selected {
-		t0 := time.Now()
-		tab, err := e.Run(suite)
-		if err != nil {
-			log.Fatalf("%s: %v", e.ID, err)
+	runErr := experiments.RunAllFunc(ctx, suite, selected, *parallel, func(r experiments.RunResult) error {
+		if r.Err != nil {
+			// Matches the serial behavior: report the first failure and
+			// stop emitting (the engine cancels the rest).
+			return fmt.Errorf("%s: %w", r.Experiment.ID, r.Err)
 		}
 		switch *format {
 		case "csv":
-			fmt.Printf("# %s: %s\n%s\n", tab.ID, tab.Title, tab.RenderCSV())
+			fmt.Printf("# %s: %s\n%s\n", r.Table.ID, r.Table.Title, r.Table.RenderCSV())
 		default:
-			fmt.Println(tab.Render())
+			fmt.Println(r.Table.Render())
 		}
-		fmt.Fprintf(os.Stderr, "[%s took %s]\n", e.ID, time.Since(t0).Round(time.Millisecond))
-	}
+		fmt.Fprintf(os.Stderr, "[%s took %s]\n", r.Experiment.ID, r.Duration.Round(time.Millisecond))
+		return nil
+	})
 	fmt.Fprintf(os.Stderr, "total: %s\n", time.Since(start).Round(time.Millisecond))
+
+	if *metrics != "" {
+		if err := writeMetrics(*metrics); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metrics)
+	}
+	if runErr != nil {
+		log.Fatal(runErr)
+	}
+}
+
+func writeMetrics(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := obs.Default.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -19,6 +19,7 @@ import (
 
 	"opprox"
 	"opprox/internal/core"
+	"opprox/internal/obs"
 )
 
 func main() {
@@ -35,7 +36,24 @@ func main() {
 	profile := flag.Bool("profile", false, "print the per-block sensitivity profile before training")
 	validate := flag.Int("validate", 0, "measure N fresh probes against the trained models and report calibration")
 	paramFlag := flag.String("params", "", "override input parameters, e.g. \"mesh=64,regions=4\"")
+	metrics := flag.String("metrics", "", "write a JSON metrics snapshot (run counts, cache hits, fit durations) to this file on exit")
 	flag.Parse()
+
+	if *metrics != "" {
+		defer func() {
+			f, err := os.Create(*metrics)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := obs.Default.WriteJSON(f); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metrics)
+		}()
+	}
 
 	var app opprox.App
 	for _, a := range opprox.Benchmarks() {

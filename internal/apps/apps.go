@@ -13,6 +13,7 @@ import (
 	"sync"
 
 	"opprox/internal/approx"
+	"opprox/internal/obs"
 	"opprox/internal/trace"
 )
 
@@ -151,38 +152,57 @@ type Eval struct {
 	WorkSavedPct float64
 }
 
+// goldenEntry is one singleflight slot of the golden cache: the first
+// caller computes the run inside the sync.Once, every concurrent caller
+// for the same parameters blocks on that same Once instead of repeating
+// the (expensive, deterministic) accurate run.
+type goldenEntry struct {
+	once sync.Once
+	res  *Result
+	err  error
+}
+
 // Runner caches golden runs per parameter set and scores approximate runs
-// against them.
+// against them. It is safe for concurrent use: concurrent golden misses
+// for the same parameters are deduplicated to a single run.
 type Runner struct {
 	App App
 
 	mu     sync.Mutex
-	golden map[string]*Result
+	golden map[string]*goldenEntry
 }
 
 // NewRunner returns a Runner for app.
 func NewRunner(app App) *Runner {
-	return &Runner{App: app, golden: make(map[string]*Result)}
+	return &Runner{App: app, golden: make(map[string]*goldenEntry)}
 }
 
 // Golden returns the accurate run for p, computing and caching it on first
-// use.
+// use. Errors are cached too: the apps are deterministic, so a failing
+// golden run would fail identically on every retry.
 func (r *Runner) Golden(p Params) (*Result, error) {
 	key := p.Key()
 	r.mu.Lock()
-	g, ok := r.golden[key]
+	e, ok := r.golden[key]
+	if !ok {
+		e = &goldenEntry{}
+		r.golden[key] = e
+	}
 	r.mu.Unlock()
 	if ok {
-		return g, nil
+		obs.Inc("apps." + r.App.Name() + ".golden.hit")
+	} else {
+		obs.Inc("apps." + r.App.Name() + ".golden.miss")
 	}
-	res, err := r.App.Run(p, approx.AccurateSchedule(len(r.App.Blocks())), 0)
-	if err != nil {
-		return nil, fmt.Errorf("golden run of %s: %w", r.App.Name(), err)
-	}
-	r.mu.Lock()
-	r.golden[key] = &res
-	r.mu.Unlock()
-	return &res, nil
+	e.once.Do(func() {
+		res, err := r.App.Run(p, approx.AccurateSchedule(len(r.App.Blocks())), 0)
+		if err != nil {
+			e.err = fmt.Errorf("golden run of %s: %w", r.App.Name(), err)
+			return
+		}
+		e.res = &res
+	})
+	return e.res, e.err
 }
 
 // Evaluate runs the app under sched and scores it against the golden run.
@@ -190,6 +210,7 @@ func (r *Runner) Evaluate(p Params, sched approx.Schedule) (*Eval, error) {
 	if err := sched.Validate(r.App.Blocks()); err != nil {
 		return nil, err
 	}
+	obs.Inc("apps." + r.App.Name() + ".evaluate")
 	g, err := r.Golden(p)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,162 @@
+package apps
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"opprox/internal/approx"
+)
+
+// countingApp is a trivially cheap deterministic app that counts how many
+// times Run was invoked, so the tests can assert the golden cache's
+// singleflight semantics: N concurrent misses for the same parameters
+// must collapse into exactly one accurate run.
+type countingApp struct {
+	runs atomic.Int64
+}
+
+func (a *countingApp) Name() string { return "counting" }
+
+func (a *countingApp) Blocks() []approx.Block {
+	return []approx.Block{{Name: "blk", Technique: approx.Perforation, MaxLevel: 3}}
+}
+
+func (a *countingApp) Params() []ParamSpec {
+	return []ParamSpec{{Name: "n", Values: []float64{1, 2}, Default: 1}}
+}
+
+func (a *countingApp) Run(p Params, sched approx.Schedule, baselineIters int) (Result, error) {
+	a.runs.Add(1)
+	n := p.Vector(a.Params())[0]
+	lv := sched.LevelsAt(0)[0]
+	return Result{
+		Output:     []float64{n * 10, float64(lv)},
+		Work:       uint64(100 - 10*lv),
+		OuterIters: 4,
+		CtxSig:     "blk",
+	}, nil
+}
+
+func (a *countingApp) QoS(exact, approximate []float64) (float64, error) {
+	d := approximate[1] - exact[1]
+	if d < 0 {
+		d = -d
+	}
+	return d, nil
+}
+
+// TestGoldenSingleflight floods the golden cache with concurrent misses
+// for the same two parameter sets and asserts each golden ran exactly
+// once and every caller saw the same cached result.
+func TestGoldenSingleflight(t *testing.T) {
+	app := &countingApp{}
+	r := NewRunner(app)
+	params := []Params{{"n": 1}, {"n": 2}}
+
+	const goroutines = 32
+	goldens := make([]*Result, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res, err := r.Golden(params[g%len(params)])
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			goldens[g] = res
+		}(g)
+	}
+	wg.Wait()
+	if got := app.runs.Load(); got != int64(len(params)) {
+		t.Fatalf("golden ran %d times for %d parameter sets — singleflight failed", got, len(params))
+	}
+	for g := 2; g < goroutines; g++ {
+		if goldens[g] != goldens[g%len(params)] {
+			t.Fatalf("goroutine %d saw a different golden pointer", g)
+		}
+	}
+}
+
+// TestEvaluateConcurrent runs Evaluate from many goroutines across
+// overlapping schedules and inputs; every goroutine must score against
+// the same golden and produce identical Evals for identical work. Run
+// under `go test -race ./...` this is the Runner's race regression test.
+func TestEvaluateConcurrent(t *testing.T) {
+	app := &countingApp{}
+	r := NewRunner(app)
+	blocks := app.Blocks()
+	p := Params{"n": 1}
+
+	type key struct{ level int }
+	var mu sync.Mutex
+	seen := map[key]*Eval{}
+
+	const goroutines = 24
+	const itersPer = 20
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < itersPer; i++ {
+				lv := (g + i) % (blocks[0].MaxLevel + 1)
+				cfg := approx.Config{lv}
+				ev, err := r.Evaluate(p, approx.UniformSchedule(1, cfg))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				if prev, ok := seen[key{lv}]; ok {
+					if prev.Speedup != ev.Speedup || prev.Degradation != ev.Degradation {
+						t.Errorf("level %d: eval diverged across goroutines: %+v vs %+v", lv, prev, ev)
+					}
+				} else {
+					seen[key{lv}] = ev
+				}
+				mu.Unlock()
+			}
+		}(g)
+	}
+	wg.Wait()
+	// One golden for the single parameter set, plus one approximate run
+	// per Evaluate call.
+	want := int64(1 + goroutines*itersPer)
+	if got := app.runs.Load(); got != want {
+		t.Fatalf("app ran %d times, want %d (exactly one golden)", got, want)
+	}
+}
+
+// TestGoldenCachesErrors verifies a failing golden run is cached like a
+// successful one: deterministic apps fail identically every time, so
+// retrying would only burn cycles.
+func TestGoldenCachesErrors(t *testing.T) {
+	app := &failingApp{}
+	r := NewRunner(app)
+	p := Params{"n": 1}
+	if _, err := r.Golden(p); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := r.Golden(p); err == nil {
+		t.Fatal("want cached error")
+	}
+	if got := app.runs.Load(); got != 1 {
+		t.Fatalf("failing golden ran %d times, want 1", got)
+	}
+}
+
+type failingApp struct{ countingApp }
+
+func (a *failingApp) Run(Params, approx.Schedule, int) (Result, error) {
+	a.runs.Add(1)
+	return Result{}, errTest
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "boom" }

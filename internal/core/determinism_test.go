@@ -1,0 +1,92 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"opprox/internal/apps"
+)
+
+// trainBytes trains an app from a fresh runner and returns the
+// persist-serialized model bytes. A fresh runner per call guarantees the
+// golden cache state cannot mask order dependence.
+func trainBytes(t *testing.T, app apps.App, opts Options) []byte {
+	t.Helper()
+	tr, err := Train(apps.NewRunner(app), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestTrainDeterministic locks in bit-for-bit reproducible training: the
+// same seed must produce byte-identical serialized models across runs.
+// twoPathApp matters here — its input-dependent control flow produces
+// multiple context classes, so FitRecords must iterate the class map in
+// a deterministic order while consuming the shared RNG; iterating in Go's
+// randomized map order used to make multi-class models nondeterministic.
+func TestTrainDeterministic(t *testing.T) {
+	for _, app := range []apps.App{toyApp{}, twoPathApp{}} {
+		opts := fastOptions()
+		a := trainBytes(t, app, opts)
+		b := trainBytes(t, app, opts)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: same seed produced different serialized models (%d vs %d bytes)",
+				app.Name(), len(a), len(b))
+		}
+	}
+}
+
+// TestTrainSeedSensitivity is the complement: a different seed should
+// draw different training samples, so the records (and almost surely the
+// bytes) differ. Guards against the seed being silently ignored.
+func TestTrainSeedSensitivity(t *testing.T) {
+	opts := fastOptions()
+	a := trainBytes(t, toyApp{}, opts)
+	opts.Seed += 1
+	b := trainBytes(t, toyApp{}, opts)
+	if bytes.Equal(a, b) {
+		t.Fatal("changing the training seed did not change the serialized model")
+	}
+}
+
+// TestOptimizeBudgetMonotoneProperty is the optimizer's contract as a
+// property over a fine budget ladder: predicted degradation never
+// exceeds the budget, and predicted speedup is nondecreasing in budget
+// (a larger feasible region can never make the best choice worse). The
+// ladder covers the paper's operating range (budgets 2-25) with margin;
+// the two-start local search in Optimize is a greedy heuristic, so
+// monotonicity far outside that range is not guaranteed.
+func TestOptimizeBudgetMonotoneProperty(t *testing.T) {
+	for _, app := range []apps.App{toyApp{}, twoPathApp{}} {
+		runner := apps.NewRunner(app)
+		tr, err := Train(runner, fastOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := apps.DefaultParams(app)
+		prevSpeedup := 0.0
+		for budget := 0.0; budget <= 30; budget += 0.5 {
+			_, pred, err := tr.Optimize(p, budget)
+			if err != nil {
+				t.Fatalf("budget %g: %v", budget, err)
+			}
+			if pred.Degradation > budget+1e-9 {
+				t.Fatalf("budget %g: predicted degradation %.6f exceeds budget", budget, pred.Degradation)
+			}
+			if pred.Speedup < 1 {
+				t.Fatalf("budget %g: predicted speedup %.6f below 1 (accurate schedule is always available)",
+					budget, pred.Speedup)
+			}
+			if pred.Speedup+1e-9 < prevSpeedup {
+				t.Fatalf("predicted speedup fell from %.6f to %.6f when budget rose to %g",
+					prevSpeedup, pred.Speedup, budget)
+			}
+			prevSpeedup = pred.Speedup
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"opprox/internal/ml/mic"
 	"opprox/internal/ml/poly"
 	"opprox/internal/ml/tree"
+	"opprox/internal/obs"
 )
 
 // pooledClass is the control-flow class identifier for the fallback models
@@ -195,6 +196,9 @@ func Train(runner *apps.Runner, opts Options) (*Trained, error) {
 		return nil, err
 	}
 	t.TrainTime = time.Since(start)
+	obs.Inc("core.train.runs")
+	obs.Observe("core.train.duration", t.TrainTime)
+	obs.LogEvent("core.train", "%s: %d phases, %d records in %s", app.Name(), phases, len(records), t.TrainTime.Round(time.Millisecond))
 	return t, nil
 }
 
@@ -238,9 +242,12 @@ func FitRecords(app apps.App, phases int, records []Record, opts Options, rng *r
 	}
 
 	// Per-class models, plus a pooled fallback when there are multiple
-	// classes.
-	for sig, recs := range classes {
-		cm, err := t.fitClass(sig, recs, rng)
+	// classes. Classes are fitted in sorted-signature order: fitting
+	// consumes the shared rng, so map-iteration order would make the
+	// models differ from run to run whenever an app has more than one
+	// control-flow class.
+	for _, sig := range sortedClassKeys(classes) {
+		cm, err := t.fitClass(sig, classes[sig], rng)
 		if err != nil {
 			return nil, fmt.Errorf("class %q: %w", sig, err)
 		}
@@ -254,6 +261,16 @@ func FitRecords(app apps.App, phases int, records []Record, opts Options, rng *r
 		t.Classes[pooledClass] = cm
 	}
 	return t, nil
+}
+
+// sortedClassKeys returns the control-flow signatures in sorted order.
+func sortedClassKeys(classes map[string][]Record) []string {
+	keys := make([]string, 0, len(classes))
+	for sig := range classes {
+		keys = append(keys, sig)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // fitClass builds the per-phase model family for one control-flow class.
@@ -388,6 +405,10 @@ func (t *Trained) fitTarget(xs [][]float64, ys []float64, scale targetScale, rng
 	if len(xs) == 0 {
 		return nil, errors.New("no samples")
 	}
+	defer func(start time.Time) {
+		obs.Inc("core.fit.models")
+		obs.Observe("core.fit.duration", time.Since(start))
+	}(time.Now())
 	if scale != scaleLinear {
 		ly := make([]float64, len(ys))
 		for i, y := range ys {

@@ -7,6 +7,7 @@ import (
 
 	"opprox/internal/approx"
 	"opprox/internal/apps"
+	"opprox/internal/obs"
 )
 
 // Prediction is what the optimizer believes the chosen schedule will do.
@@ -82,54 +83,160 @@ func (t *Trained) Optimize(p apps.Params, budget float64) (approx.Schedule, Pred
 		return order[a] < order[b]
 	})
 
-	sched := approx.UniformSchedule(t.Phases, make(approx.Config, len(t.Blocks)))
-	plans := make([]PhasePlan, t.Phases)
-	// Shares sum to 1, so walking the phases in ROI order and carrying any
-	// unused sub-budget forward redistributes leftovers exactly as the
-	// paper describes.
+	// Each phase's configuration space is enumerated exactly once into an
+	// upgrade ladder; every budget query afterwards is a binary search, so
+	// the reallocation passes below cost O(log configs) instead of a full
+	// re-enumeration each.
+	menus := make([]phaseMenu, t.Phases)
+	for ph := range menus {
+		menus[ph] = t.buildPhaseMenu(cm.Phase[ph], pv)
+	}
+
+	// refill offers the pooled remainder to each phase (best ROI first)
+	// until no phase can upgrade — the paper's leftover reallocation,
+	// iterated to a fixed point. A phase index passed as pinned is held at
+	// its current configuration (used by the downgrade moves below; -1
+	// pins nothing).
+	refill := func(plans []PhasePlan, levels []approx.Config, leftover float64, pinned int) {
+		for pass := 0; pass < 2*t.Phases && leftover > 1e-9; pass++ {
+			improved := false
+			for _, ph := range order {
+				if ph == pinned {
+					continue
+				}
+				phaseBudget := plans[ph].Degradation + leftover
+				c := menus[ph].query(phaseBudget)
+				if c.spd > plans[ph].Speedup+1e-12 {
+					leftover = phaseBudget - c.deg
+					if leftover < 0 {
+						leftover = 0
+					}
+					levels[ph] = c.cfg
+					plans[ph] = PhasePlan{Phase: ph, Levels: c.cfg, Budget: phaseBudget, Speedup: c.spd, Degradation: c.deg}
+					improved = true
+					obs.Inc("core.optimize.reallocations")
+				}
+			}
+			if !improved {
+				break
+			}
+		}
+	}
+	totalSavings := func(plans []PhasePlan) float64 {
+		s := 0.0
+		for _, pl := range plans {
+			if pl.Speedup > 0 {
+				s += 1 - 1/pl.Speedup
+			}
+		}
+		return s
+	}
+	totalDeg := func(plans []PhasePlan) float64 {
+		d := 0.0
+		for _, pl := range plans {
+			d += pl.Degradation
+		}
+		return d
+	}
+
+	// localSearch is the downgrade-and-reallocate escape: greedy refill
+	// can trap the plan — a phase grabs a configuration that marginally
+	// improves its own speedup while consuming budget that, pooled, would
+	// have bought better upgrades elsewhere. Tentatively pin one phase at
+	// each cheaper rung of its ladder (down to accurate), refill the
+	// others from the pooled remainder, and keep the candidate when the
+	// total predicted savings improve. Acceptance is strict-improvement
+	// only, so the search is a monotone descent and terminates. Without
+	// this escape, raising the budget can lower the predicted speedup.
+	localSearch := func(plans []PhasePlan, levels []approx.Config) ([]PhasePlan, []approx.Config) {
+		for pass := 0; pass < t.Phases+1; pass++ {
+			improved := false
+			for _, ph := range order {
+				cur := plans[ph].Degradation
+				if cur == 0 {
+					continue
+				}
+				// Candidate rungs strictly cheaper than the current one,
+				// plus the accurate floor.
+				rungs := []phaseChoice{{cfg: menus[ph].accurate, spd: 1, deg: 0}}
+				for _, r := range menus[ph].ladder {
+					if r.deg < cur {
+						rungs = append(rungs, r)
+					}
+				}
+				for _, r := range rungs {
+					cand := make([]PhasePlan, len(plans))
+					copy(cand, plans)
+					candLevels := make([]approx.Config, len(levels))
+					copy(candLevels, levels)
+					cand[ph] = PhasePlan{Phase: ph, Levels: r.cfg, Budget: r.deg, Speedup: r.spd, Degradation: r.deg}
+					candLevels[ph] = r.cfg
+					candLeft := budget - totalDeg(cand)
+					if candLeft < 0 {
+						continue
+					}
+					refill(cand, candLevels, candLeft, ph)
+					if totalSavings(cand) > totalSavings(plans)+1e-12 {
+						plans = cand
+						levels = candLevels
+						improved = true
+						obs.Inc("core.optimize.reallocations")
+						// plans changed: the remaining rungs were computed
+						// against the old plan, so restart this phase's
+						// moves on the next pass.
+						break
+					}
+				}
+			}
+			if !improved {
+				break
+			}
+		}
+		return plans, levels
+	}
+
+	// Start 1 — the paper's share-based allocation: walk the phases in
+	// ROI order handing each its normROI·budget share plus any carried
+	// leftover (shares sum to 1, so carrying unused sub-budget forward
+	// redistributes leftovers exactly as the paper describes).
+	sharePlans := make([]PhasePlan, t.Phases)
+	shareLevels := make([]approx.Config, t.Phases)
 	leftover := 0.0
 	for _, ph := range order {
 		phaseBudget := budget*shares[ph] + leftover
-		best, bestSpd, bestDeg := t.optimizePhase(cm.Phase[ph], pv, phaseBudget)
-		sched.Levels[ph] = best
-		plans[ph] = PhasePlan{Phase: ph, Levels: best, Budget: phaseBudget, Speedup: bestSpd, Degradation: bestDeg}
-		leftover = phaseBudget - bestDeg
+		c := menus[ph].query(phaseBudget)
+		shareLevels[ph] = c.cfg
+		sharePlans[ph] = PhasePlan{Phase: ph, Levels: c.cfg, Budget: phaseBudget, Speedup: c.spd, Degradation: c.deg}
+		leftover = phaseBudget - c.deg
 		if leftover < 0 {
 			leftover = 0
 		}
 	}
-	// Refill passes: conservative predictions typically consume less than
-	// the share a phase was given, so keep offering the pooled remainder
-	// to each phase (best ROI first) until no phase can upgrade — the
-	// paper's leftover reallocation, iterated to a fixed point.
-	for pass := 0; pass < 4 && leftover > 1e-9; pass++ {
-		improved := false
-		for _, ph := range order {
-			phaseBudget := plans[ph].Degradation + leftover
-			best, bestSpd, bestDeg := t.optimizePhase(cm.Phase[ph], pv, phaseBudget)
-			if bestSpd > plans[ph].Speedup+1e-12 {
-				leftover = phaseBudget - bestDeg
-				if leftover < 0 {
-					leftover = 0
-				}
-				sched.Levels[ph] = best
-				plans[ph] = PhasePlan{Phase: ph, Levels: best, Budget: phaseBudget, Speedup: bestSpd, Degradation: bestDeg}
-				improved = true
-			}
-		}
-		if !improved {
-			break
-		}
+	refill(sharePlans, shareLevels, leftover, -1)
+	sharePlans, shareLevels = localSearch(sharePlans, shareLevels)
+
+	// Start 2 — pooled: begin all-accurate and let refill hand the whole
+	// budget out in ROI order. The two starts reach different local
+	// optima; keep the better plan.
+	poolPlans := make([]PhasePlan, t.Phases)
+	poolLevels := make([]approx.Config, t.Phases)
+	for ph := range poolPlans {
+		poolPlans[ph] = PhasePlan{Phase: ph, Levels: menus[ph].accurate, Speedup: 1}
+		poolLevels[ph] = menus[ph].accurate
 	}
+	refill(poolPlans, poolLevels, budget, -1)
+	poolPlans, poolLevels = localSearch(poolPlans, poolLevels)
+
+	plans, levels := sharePlans, shareLevels
+	if totalSavings(poolPlans) > totalSavings(plans)+1e-12 {
+		plans, levels = poolPlans, poolLevels
+	}
+	sched := approx.UniformSchedule(t.Phases, make(approx.Config, len(t.Blocks)))
+	sched.Levels = levels
 
 	pred := Prediction{PerPhase: plans}
-	savings := 0.0
-	for _, pl := range plans {
-		pred.Degradation += pl.Degradation
-		if pl.Speedup > 0 {
-			savings += 1 - 1/pl.Speedup
-		}
-	}
+	savings := totalSavings(plans)
+	pred.Degradation = totalDeg(plans)
 	// Per-phase models predict full-app speedup with only that phase
 	// approximated; the savings compose additively, the speedups do not.
 	if savings > 0.95 {
@@ -140,36 +247,89 @@ func (t *Trained) Optimize(p apps.Params, budget float64) (approx.Schedule, Pred
 	}
 	pred.Speedup = 1 / (1 - savings)
 	pred.OptimizeTime = time.Since(start)
+	obs.Inc("core.optimize.runs")
+	obs.Observe("core.optimize.duration", pred.OptimizeTime)
 	return sched, pred, nil
 }
 
-// optimizePhase enumerates the phase's configuration space under the
-// trained models and returns the configuration with the highest predicted
-// speedup whose conservative degradation fits the budget. The accurate
-// configuration (speedup 1, degradation 0) is always feasible.
-func (t *Trained) optimizePhase(pm *PhaseModel, paramVec []float64, budget float64) (approx.Config, float64, float64) {
-	best := make(approx.Config, len(t.Blocks))
-	bestSpd, bestDeg := 1.0, 0.0
+// phaseChoice is one rung of a phase's upgrade ladder: the best predicted
+// configuration affordable at degradation deg.
+type phaseChoice struct {
+	cfg approx.Config
+	spd float64
+	deg float64
+}
+
+// phaseMenu is a phase's configuration space collapsed into an upgrade
+// ladder: entries have strictly increasing degradation AND strictly
+// increasing speedup, so "the best configuration whose conservative
+// degradation fits budget b" is the last entry with deg <= b.
+type phaseMenu struct {
+	ladder []phaseChoice
+	// accurate is the all-zero configuration, the ladder's implicit floor.
+	accurate approx.Config
+}
+
+// buildPhaseMenu enumerates the phase's configuration space once under the
+// trained models. Feasibility is judged conservatively — the upper
+// confidence edge of the degradation must fit the budget (paper §3.6) —
+// but the objective ranks on the model's expected speedup: the confidence
+// band's half-width is a per-phase constant on the log scale, so the
+// pessimistic lower edge would preserve the ranking among configurations
+// while spuriously rejecting every modest speedup against the accurate
+// default.
+func (t *Trained) buildPhaseMenu(pm *PhaseModel, paramVec []float64) phaseMenu {
+	type entry struct {
+		cfg approx.Config
+		spd float64
+		deg float64
+	}
+	var all []entry
+	scanned := int64(0)
 	approx.EnumerateConfigs(t.Blocks, func(cfg approx.Config) bool {
 		if cfg.IsAccurate() {
 			return true
 		}
-		// Feasibility is judged conservatively — the upper confidence edge
-		// of the degradation must fit the budget (paper §3.6) — but the
-		// objective ranks on the model's expected speedup: the confidence
-		// band's half-width is a per-phase constant on the log scale, so
-		// the pessimistic lower edge would preserve the ranking among
-		// configurations while spuriously rejecting every modest speedup
-		// against the accurate default.
+		scanned++
 		spd, _ := pm.predictConfig(t, paramVec, cfg, false)
 		_, deg := pm.predictConfig(t, paramVec, cfg, t.Opts.UseConfidence)
-		if deg <= budget && spd > bestSpd {
-			best = cfg
-			bestSpd, bestDeg = spd, deg
-		}
+		c := make(approx.Config, len(cfg))
+		copy(c, cfg)
+		all = append(all, entry{cfg: c, spd: spd, deg: deg})
 		return true
 	})
-	return best, bestSpd, bestDeg
+	obs.Add("core.optimize.configs_scanned", scanned)
+	// Sort by degradation; SliceStable keeps enumeration order among equal
+	// degradations, so the ladder (and hence every optimization result) is
+	// deterministic.
+	sort.SliceStable(all, func(a, b int) bool { return all[a].deg < all[b].deg })
+	m := phaseMenu{accurate: make(approx.Config, len(t.Blocks))}
+	bestSpd := 1.0 // the accurate configuration is always feasible
+	for _, e := range all {
+		if e.spd > bestSpd {
+			m.ladder = append(m.ladder, phaseChoice{cfg: e.cfg, spd: e.spd, deg: e.deg})
+			bestSpd = e.spd
+		}
+	}
+	return m
+}
+
+// query returns the best configuration affordable at the given budget; the
+// accurate configuration (speedup 1, degradation 0) is the floor.
+func (m phaseMenu) query(budget float64) phaseChoice {
+	lo, hi := 0, len(m.ladder) // first ladder index with deg > budget
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if m.ladder[mid].deg <= budget {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo == 0 {
+		return phaseChoice{cfg: m.accurate, spd: 1, deg: 0}
+	}
+	return m.ladder[lo-1]
 }
 
 // OracleResult is the outcome of the phase-agnostic exhaustive search.

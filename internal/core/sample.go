@@ -5,9 +5,11 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"opprox/internal/approx"
 	"opprox/internal/apps"
+	"opprox/internal/obs"
 )
 
 // Record is one training observation: the application ran with `Levels`
@@ -143,6 +145,15 @@ func (s *sampler) collectAll(combos []apps.Params, phases, jointSamples int) ([]
 	if workers > len(tasks) {
 		workers = len(tasks)
 	}
+
+	// Sampling throughput: how many training runs this Train planned, and
+	// how long the whole pool took to drain them.
+	appName := app.Name()
+	obs.Add("core.sample.tasks", int64(len(tasks)))
+	obs.Add("core.sample."+appName+".tasks", int64(len(tasks)))
+	defer func(start time.Time) {
+		obs.Observe("core.sample.pool.duration", time.Since(start))
+	}(time.Now())
 
 	records := make([]Record, len(tasks))
 	errs := make([]error, workers)

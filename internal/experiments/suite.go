@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"opprox/internal/approx"
 	"opprox/internal/apps"
@@ -13,6 +14,7 @@ import (
 	"opprox/internal/apps/tracker"
 	"opprox/internal/apps/vidpipe"
 	"opprox/internal/core"
+	"opprox/internal/obs"
 	"opprox/internal/qos"
 )
 
@@ -42,7 +44,10 @@ func budgetsFor(appName string) []budgetSpec {
 }
 
 // Suite owns the runners and caches trained models so that experiments
-// sharing a training run do not repeat it.
+// sharing a training run do not repeat it. It is safe for concurrent use
+// by the parallel experiment engine: the runner map is immutable after
+// NewSuite, and the trained-model cache deduplicates concurrent training
+// requests for the same key into a single core.Train call.
 type Suite struct {
 	Seed int64
 	// Quick shrinks sampling so benchmarks stay fast; the full artifacts
@@ -50,12 +55,21 @@ type Suite struct {
 	Quick bool
 
 	runners map[string]*apps.Runner
-	trained map[string]*core.Trained
+
+	mu      sync.Mutex
+	trained map[string]*trainEntry
+}
+
+// trainEntry is one singleflight slot of the trained-model cache.
+type trainEntry struct {
+	once sync.Once
+	tr   *core.Trained
+	err  error
 }
 
 // NewSuite builds a suite over the five benchmark applications.
 func NewSuite(seed int64, quick bool) *Suite {
-	s := &Suite{Seed: seed, Quick: quick, runners: map[string]*apps.Runner{}, trained: map[string]*core.Trained{}}
+	s := &Suite{Seed: seed, Quick: quick, runners: map[string]*apps.Runner{}, trained: map[string]*trainEntry{}}
 	for _, a := range []apps.App{lulesh.New(), comd.New(), vidpipe.New(), tracker.New(), pso.New()} {
 		s.runners[a.Name()] = apps.NewRunner(a)
 	}
@@ -88,18 +102,37 @@ func (s *Suite) options(phases int) core.Options {
 }
 
 // Trained returns (and caches) the trained models for one app at a phase
-// count.
+// count. Concurrent callers needing the same models train them exactly
+// once; the rest block until that training finishes.
 func (s *Suite) Trained(app string, phases int) (*core.Trained, error) {
 	key := fmt.Sprintf("%s/%d", app, phases)
-	if tr, ok := s.trained[key]; ok {
+	return s.train(key, func() (*core.Trained, error) {
+		tr, err := core.Train(s.runner(app), s.options(phases))
+		if err != nil {
+			return nil, fmt.Errorf("train %s (%d phases): %w", app, phases, err)
+		}
 		return tr, nil
+	})
+}
+
+// train is the singleflight core behind Trained and trainedWith: the
+// first caller for a key runs fn, every other caller (concurrent or
+// later) reuses its result.
+func (s *Suite) train(key string, fn func() (*core.Trained, error)) (*core.Trained, error) {
+	s.mu.Lock()
+	e, ok := s.trained[key]
+	if !ok {
+		e = &trainEntry{}
+		s.trained[key] = e
 	}
-	tr, err := core.Train(s.runner(app), s.options(phases))
-	if err != nil {
-		return nil, fmt.Errorf("train %s (%d phases): %w", app, phases, err)
+	s.mu.Unlock()
+	if ok {
+		obs.Inc("experiments.train.cached")
+	} else {
+		obs.Inc("experiments.train.miss")
 	}
-	s.trained[key] = tr
-	return tr, nil
+	e.once.Do(func() { e.tr, e.err = fn() })
+	return e.tr, e.err
 }
 
 // sampleConfigs returns a deterministic set of approximation settings used

@@ -228,20 +228,15 @@ func (s *Suite) AblationPhaseSearch() (*Table, error) {
 	return t, nil
 }
 
-// trainedWith trains with explicit options, cached by a derived key.
+// trainedWith trains with explicit options, cached by a derived key. Like
+// Trained, concurrent callers with the same key train exactly once.
 func (s *Suite) trainedWith(app string, opts core.Options) (*core.Trained, error) {
 	if opts == s.options(opts.Phases) {
 		// Identical to the default configuration: share its cache entry.
 		return s.Trained(app, opts.Phases)
 	}
 	key := fmt.Sprintf("%s/%d/mic=%v/ci=%v/iter=%v/pol=%v/combos=%d", app, opts.Phases, opts.UseMIC, opts.UseConfidence, opts.UseIterFeature, opts.BudgetPolicy, opts.MaxParamCombos)
-	if tr, ok := s.trained[key]; ok {
-		return tr, nil
-	}
-	tr, err := core.Train(s.runner(app), opts)
-	if err != nil {
-		return nil, err
-	}
-	s.trained[key] = tr
-	return tr, nil
+	return s.train(key, func() (*core.Trained, error) {
+		return core.Train(s.runner(app), opts)
+	})
 }

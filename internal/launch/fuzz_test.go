@@ -1,0 +1,77 @@
+package launch
+
+import (
+	"strings"
+	"testing"
+
+	"opprox/internal/approx"
+)
+
+// FuzzEnvRoundTrip drives EncodeEnv→DecodeEnv with arbitrary schedules:
+// the fuzzer picks a phase count and raw level bytes, which are clamped
+// into a valid schedule over testBlocks; the decode of the encode must
+// reproduce the schedule exactly.
+func FuzzEnvRoundTrip(f *testing.F) {
+	f.Add(uint8(1), []byte{0, 0})
+	f.Add(uint8(4), []byte{5, 3, 0, 1, 2, 4, 5, 5})
+	f.Add(uint8(8), []byte{1})
+	f.Fuzz(func(t *testing.T, phasesRaw uint8, levelBytes []byte) {
+		phases := int(phasesRaw)%8 + 1
+		sched := approx.UniformSchedule(phases, make(approx.Config, len(testBlocks)))
+		i := 0
+		for ph := 0; ph < phases; ph++ {
+			cfg := make(approx.Config, len(testBlocks))
+			for bi, b := range testBlocks {
+				if len(levelBytes) > 0 {
+					cfg[bi] = int(levelBytes[i%len(levelBytes)]) % (b.MaxLevel + 1)
+					i++
+				}
+			}
+			sched.Levels[ph] = cfg
+		}
+
+		env, err := EncodeEnv(sched, testBlocks)
+		if err != nil {
+			t.Fatalf("encode of a valid schedule failed: %v", err)
+		}
+		got, err := DecodeEnv(env, testBlocks)
+		if err != nil {
+			t.Fatalf("decode of encoded env failed: %v\nenv: %v", err, env)
+		}
+		if got.Phases != sched.Phases {
+			t.Fatalf("phases: got %d, want %d", got.Phases, sched.Phases)
+		}
+		for ph := 0; ph < phases; ph++ {
+			for bi := range testBlocks {
+				if got.Levels[ph][bi] != sched.Levels[ph][bi] {
+					t.Fatalf("phase %d block %d: got %d, want %d\nenv: %v",
+						ph, bi, got.Levels[ph][bi], sched.Levels[ph][bi], env)
+				}
+			}
+		}
+	})
+}
+
+// FuzzDecodeEnv throws arbitrary assignment lists at DecodeEnv: it must
+// never panic, and whatever schedule it accepts must validate against the
+// blocks it was decoded for.
+func FuzzDecodeEnv(f *testing.F) {
+	f.Add("OPPROX_PHASES=2\nOPPROX_P1_FORCES=3")
+	f.Add("OPPROX_PHASES=x")
+	f.Add("OPPROX_P1_FORCES=1\nnoequals")
+	f.Add("PATH=/bin\nOPPROX_TYPO=1")
+	f.Add("OPPROX_PHASES=1\nOPPROX_P1_TIME_CONSTRAINTS=-2")
+	f.Fuzz(func(t *testing.T, raw string) {
+		var env []string
+		if raw != "" {
+			env = strings.Split(raw, "\n")
+		}
+		sched, err := DecodeEnv(env, testBlocks)
+		if err != nil {
+			return // rejecting bad input is fine; panicking is not
+		}
+		if err := sched.Validate(testBlocks); err != nil {
+			t.Fatalf("DecodeEnv accepted an invalid schedule %v: %v\nenv: %v", sched, err, env)
+		}
+	})
+}

@@ -1,0 +1,367 @@
+// Package obs is the observability layer for the OPPROX pipeline: a
+// lightweight, dependency-free metrics registry (counters, gauges,
+// duration histograms) plus a bounded run-event log, exportable as a JSON
+// snapshot.
+//
+// The hot paths of the system — golden-run caching, training sampling,
+// model fitting, schedule optimization, experiment regeneration — report
+// through a process-wide Default registry, so `opprox-experiments
+// -metrics out.json` (and any future service wrapper) can answer "where
+// did the time go, and how often did each cache save us a run" without a
+// profiler.
+//
+// Metrics must never feed back into results: instrumentation observes the
+// pipeline, it does not steer it. That rule is what lets the parallel
+// experiment engine stay byte-identical to the serial one while still
+// being measured.
+//
+// All types are safe for concurrent use.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n (n may be any non-negative amount; negative deltas are
+// clamped to zero to keep the counter monotone).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a last-value-wins float metric.
+type Gauge struct {
+	mu sync.Mutex
+	v  float64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	g.v = v
+	g.mu.Unlock()
+}
+
+// Add adjusts the gauge by delta.
+func (g *Gauge) Add(delta float64) {
+	g.mu.Lock()
+	g.v += delta
+	g.mu.Unlock()
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.v
+}
+
+// histBounds are the upper edges of the duration histogram buckets, a
+// 1-2-5 ladder from 10µs to 1 minute. Observations above the last edge
+// land in the implicit overflow bucket.
+var histBounds = []time.Duration{
+	10 * time.Microsecond,
+	50 * time.Microsecond,
+	200 * time.Microsecond,
+	time.Millisecond,
+	5 * time.Millisecond,
+	20 * time.Millisecond,
+	100 * time.Millisecond,
+	500 * time.Millisecond,
+	2 * time.Second,
+	10 * time.Second,
+	time.Minute,
+}
+
+// Histogram accumulates a duration distribution: fixed log-scaled buckets
+// plus count, sum, min and max.
+type Histogram struct {
+	mu      sync.Mutex
+	count   int64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+	buckets [numBuckets]int64 // last slot is the overflow bucket
+}
+
+// numBuckets is len(histBounds) plus the overflow bucket.
+const numBuckets = 12
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := sort.Search(len(histBounds), func(i int) bool { return d <= histBounds[i] })
+	h.mu.Lock()
+	if h.count == 0 || d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.count++
+	h.sum += d
+	h.buckets[i]++
+	h.mu.Unlock()
+}
+
+// Time runs fn and observes its wall-clock duration.
+func (h *Histogram) Time(fn func()) {
+	start := time.Now()
+	fn()
+	h.Observe(time.Since(start))
+}
+
+// Event is one entry of the run-event log.
+type Event struct {
+	// Time is the wall-clock moment the event was recorded.
+	Time time.Time `json:"time"`
+	// Name identifies the event kind, e.g. "experiment.done".
+	Name string `json:"name"`
+	// Detail is free-form context, e.g. the experiment ID and duration.
+	Detail string `json:"detail,omitempty"`
+}
+
+// DefaultEventCap bounds the event log; older events are dropped first.
+const DefaultEventCap = 512
+
+// Registry owns a namespace of metrics and an event log.
+// The zero value is not usable; call New (or use Default).
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	histograms map[string]*Histogram
+
+	events   []Event // ring buffer, oldest at eventHead
+	eventCap int
+	head     int
+	dropped  int64
+}
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		histograms: map[string]*Histogram{},
+		eventCap:   DefaultEventCap,
+	}
+}
+
+// Default is the process-wide registry the pipeline's built-in
+// instrumentation reports to.
+var Default = New()
+
+// Counter returns (creating on first use) the named counter.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating on first use) the named gauge.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating on first use) the named histogram.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
+// Event appends a formatted entry to the run-event log. When the log is
+// full the oldest entry is evicted (and counted in the snapshot's
+// events_dropped).
+func (r *Registry) Event(name, format string, args ...interface{}) {
+	detail := format
+	if len(args) > 0 {
+		detail = fmt.Sprintf(format, args...)
+	}
+	ev := Event{Time: time.Now(), Name: name, Detail: detail}
+	r.mu.Lock()
+	if len(r.events) < r.eventCap {
+		r.events = append(r.events, ev)
+	} else {
+		r.events[r.head] = ev
+		r.head = (r.head + 1) % r.eventCap
+		r.dropped++
+	}
+	r.mu.Unlock()
+}
+
+// Reset drops every metric and event. Intended for tests and for
+// isolating one run's snapshot from the previous one.
+func (r *Registry) Reset() {
+	r.mu.Lock()
+	r.counters = map[string]*Counter{}
+	r.gauges = map[string]*Gauge{}
+	r.histograms = map[string]*Histogram{}
+	r.events = nil
+	r.head = 0
+	r.dropped = 0
+	r.mu.Unlock()
+}
+
+// HistogramSnapshot is the exported form of one histogram.
+type HistogramSnapshot struct {
+	Count      int64   `json:"count"`
+	SumSeconds float64 `json:"sum_seconds"`
+	MinSeconds float64 `json:"min_seconds"`
+	MaxSeconds float64 `json:"max_seconds"`
+	// Buckets[i].Count observations fell at or below Buckets[i].LeSeconds;
+	// the final bucket (le_seconds = +inf, encoded as 0 with "overflow")
+	// holds the rest.
+	Buckets []BucketSnapshot `json:"buckets,omitempty"`
+}
+
+// BucketSnapshot is one non-empty histogram bucket.
+type BucketSnapshot struct {
+	// LeSeconds is the bucket's inclusive upper edge; 0 with Overflow set
+	// means "beyond the last edge".
+	LeSeconds float64 `json:"le_seconds,omitempty"`
+	Overflow  bool    `json:"overflow,omitempty"`
+	Count     int64   `json:"count"`
+}
+
+// Snapshot is a point-in-time JSON-marshalable export of a registry.
+type Snapshot struct {
+	Counters      map[string]int64             `json:"counters,omitempty"`
+	Gauges        map[string]float64           `json:"gauges,omitempty"`
+	Histograms    map[string]HistogramSnapshot `json:"histograms,omitempty"`
+	Events        []Event                      `json:"events,omitempty"`
+	EventsDropped int64                        `json:"events_dropped,omitempty"`
+}
+
+// Snapshot exports the registry's current state. Maps marshal with sorted
+// keys under encoding/json, so two identical registries produce identical
+// bytes.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.histograms))
+	for k, v := range r.histograms {
+		hists[k] = v
+	}
+	events := make([]Event, 0, len(r.events))
+	for i := 0; i < len(r.events); i++ {
+		events = append(events, r.events[(r.head+i)%len(r.events)])
+	}
+	dropped := r.dropped
+	r.mu.Unlock()
+
+	snap := Snapshot{Events: events, EventsDropped: dropped}
+	if len(counters) > 0 {
+		snap.Counters = make(map[string]int64, len(counters))
+		for k, c := range counters {
+			snap.Counters[k] = c.Value()
+		}
+	}
+	if len(gauges) > 0 {
+		snap.Gauges = make(map[string]float64, len(gauges))
+		for k, g := range gauges {
+			snap.Gauges[k] = g.Value()
+		}
+	}
+	if len(hists) > 0 {
+		snap.Histograms = make(map[string]HistogramSnapshot, len(hists))
+		for k, h := range hists {
+			snap.Histograms[k] = h.snapshot()
+		}
+	}
+	return snap
+}
+
+func (h *Histogram) snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	hs := HistogramSnapshot{
+		Count:      h.count,
+		SumSeconds: h.sum.Seconds(),
+		MinSeconds: h.min.Seconds(),
+		MaxSeconds: h.max.Seconds(),
+	}
+	for i, n := range h.buckets {
+		if n == 0 {
+			continue
+		}
+		b := BucketSnapshot{Count: n}
+		if i < len(histBounds) {
+			b.LeSeconds = histBounds[i].Seconds()
+		} else {
+			b.Overflow = true
+		}
+		hs.Buckets = append(hs.Buckets, b)
+	}
+	return hs
+}
+
+// WriteJSON writes an indented JSON snapshot of the registry.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Package-level helpers against the Default registry, so instrumented
+// code reads as a single call.
+
+// Inc increments a Default-registry counter.
+func Inc(name string) { Default.Counter(name).Inc() }
+
+// Add adds n to a Default-registry counter.
+func Add(name string, n int64) { Default.Counter(name).Add(n) }
+
+// Set stores v in a Default-registry gauge.
+func Set(name string, v float64) { Default.Gauge(name).Set(v) }
+
+// Observe records a duration in a Default-registry histogram.
+func Observe(name string, d time.Duration) { Default.Histogram(name).Observe(d) }
+
+// LogEvent appends to the Default registry's event log.
+func LogEvent(name, format string, args ...interface{}) { Default.Event(name, format, args...) }

@@ -1,0 +1,207 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("runs")
+	c.Inc()
+	c.Add(4)
+	c.Add(-7) // negative deltas must not unwind a monotone counter
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("runs") != c {
+		t.Fatal("same name must return the same counter")
+	}
+	g := r.Gauge("depth")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %g, want 1.5", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.Histogram("fit")
+	h.Observe(3 * time.Microsecond)  // first bucket
+	h.Observe(40 * time.Millisecond) // mid bucket
+	h.Observe(2 * time.Hour)         // overflow
+	h.Observe(-time.Second)          // clamped to 0
+	hs := h.snapshot()
+	if hs.Count != 4 {
+		t.Fatalf("count = %d, want 4", hs.Count)
+	}
+	if hs.MinSeconds != 0 {
+		t.Fatalf("min = %g, want 0 (clamped)", hs.MinSeconds)
+	}
+	if hs.MaxSeconds != (2 * time.Hour).Seconds() {
+		t.Fatalf("max = %g", hs.MaxSeconds)
+	}
+	var overflow, total int64
+	for _, b := range hs.Buckets {
+		total += b.Count
+		if b.Overflow {
+			overflow += b.Count
+		}
+	}
+	if total != 4 || overflow != 1 {
+		t.Fatalf("buckets total=%d overflow=%d, want 4/1", total, overflow)
+	}
+}
+
+func TestHistogramTime(t *testing.T) {
+	r := New()
+	h := r.Histogram("timed")
+	h.Time(func() { time.Sleep(time.Millisecond) })
+	if hs := h.snapshot(); hs.Count != 1 || hs.SumSeconds <= 0 {
+		t.Fatalf("Time did not record: %+v", hs)
+	}
+}
+
+func TestEventLogEviction(t *testing.T) {
+	r := New()
+	r.eventCap = 4
+	for i := 0; i < 10; i++ {
+		r.Event("tick", "n=%d", i)
+	}
+	snap := r.Snapshot()
+	if len(snap.Events) != 4 {
+		t.Fatalf("event log holds %d, want 4", len(snap.Events))
+	}
+	if snap.EventsDropped != 6 {
+		t.Fatalf("dropped = %d, want 6", snap.EventsDropped)
+	}
+	// Oldest-first order, holding the most recent entries.
+	for i, ev := range snap.Events {
+		want := fmt.Sprintf("n=%d", 6+i)
+		if ev.Detail != want {
+			t.Fatalf("event %d detail = %q, want %q", i, ev.Detail, want)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := New()
+	r.Counter("a.hit").Add(3)
+	r.Gauge("b.depth").Set(7)
+	r.Histogram("c.fit").Observe(2 * time.Millisecond)
+	r.Event("start", "experiment %s", "fig2")
+
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if decoded.Counters["a.hit"] != 3 {
+		t.Fatalf("counter lost: %+v", decoded.Counters)
+	}
+	if decoded.Gauges["b.depth"] != 7 {
+		t.Fatalf("gauge lost: %+v", decoded.Gauges)
+	}
+	if decoded.Histograms["c.fit"].Count != 1 {
+		t.Fatalf("histogram lost: %+v", decoded.Histograms)
+	}
+	if len(decoded.Events) != 1 || decoded.Events[0].Detail != "experiment fig2" {
+		t.Fatalf("events lost: %+v", decoded.Events)
+	}
+	// Two identical registries must snapshot to identical bytes (map keys
+	// are sorted by encoding/json) so metrics never break artifact diffs.
+	var buf2 bytes.Buffer
+	if err := r.WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("same registry snapshots to different bytes")
+	}
+	if !strings.Contains(buf.String(), "a.hit") {
+		t.Fatalf("snapshot missing counter name:\n%s", buf.String())
+	}
+}
+
+func TestReset(t *testing.T) {
+	r := New()
+	r.Counter("x").Inc()
+	r.Event("e", "detail")
+	r.Reset()
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Events) != 0 {
+		t.Fatalf("reset left state: %+v", snap)
+	}
+}
+
+// TestRegistryRace hammers every registry surface from many goroutines;
+// it exists to fail under `go test -race` if any path loses its lock.
+func TestRegistryRace(t *testing.T) {
+	r := New()
+	const goroutines = 16
+	const iters = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := fmt.Sprintf("m%d", g%4) // contend on shared names
+			for i := 0; i < iters; i++ {
+				r.Counter(name).Inc()
+				r.Gauge(name).Add(1)
+				r.Histogram(name).Observe(time.Duration(i) * time.Microsecond)
+				r.Event(name, "i=%d", i)
+				if i%50 == 0 {
+					_ = r.Snapshot()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	var total int64
+	for _, v := range snap.Counters {
+		total += v
+	}
+	if total != goroutines*iters {
+		t.Fatalf("lost increments: %d, want %d", total, goroutines*iters)
+	}
+	for _, hs := range snap.Histograms {
+		var bucketed int64
+		for _, b := range hs.Buckets {
+			bucketed += b.Count
+		}
+		if bucketed != hs.Count {
+			t.Fatalf("histogram bucket counts %d != count %d", bucketed, hs.Count)
+		}
+	}
+	if int64(len(snap.Events))+snap.EventsDropped != goroutines*iters {
+		t.Fatalf("events accounted %d+%d, want %d", len(snap.Events), snap.EventsDropped, goroutines*iters)
+	}
+}
+
+// TestDefaultHelpers exercises the package-level convenience functions.
+func TestDefaultHelpers(t *testing.T) {
+	Default.Reset()
+	defer Default.Reset()
+	Inc("h.count")
+	Add("h.count", 2)
+	Set("h.gauge", 4)
+	Observe("h.dur", time.Millisecond)
+	LogEvent("h.ev", "plain")
+	snap := Default.Snapshot()
+	if snap.Counters["h.count"] != 3 || snap.Gauges["h.gauge"] != 4 {
+		t.Fatalf("helpers did not hit Default: %+v", snap)
+	}
+	if snap.Histograms["h.dur"].Count != 1 || len(snap.Events) != 1 {
+		t.Fatalf("helpers did not hit Default: %+v", snap)
+	}
+}

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Tier-1 gate: formatting, vet, build, and the full test suite under the
+# race detector. CI and pre-merge both run exactly this script; if it
+# passes locally it passes there.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+echo "check: all green"
