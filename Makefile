@@ -1,6 +1,6 @@
 # Convenience wrappers; scripts/check.sh is the tier-1 gate CI runs.
 
-.PHONY: build test check bench
+.PHONY: build test check bench vet vet-json
 
 build:
 	go build ./...
@@ -13,3 +13,14 @@ check:
 
 bench:
 	go test -bench=. -benchmem
+
+# vet runs the determinism/concurrency analyzers (internal/analysis) over
+# the module and fails on any unsuppressed finding at or above warning.
+# It always writes the machine-readable report to opprox-vet.json.
+vet:
+	go run ./cmd/opprox-vet -severity warning -out opprox-vet.json ./...
+
+# vet-json emits only the JSON report on stdout (and still fails on
+# findings), for machine consumption.
+vet-json:
+	go run ./cmd/opprox-vet -severity warning -json ./...

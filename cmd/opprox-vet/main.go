@@ -1,0 +1,107 @@
+// Command opprox-vet runs OPPROX's determinism and concurrency analyzers
+// (internal/analysis) over the module and fails on unsuppressed findings.
+// It is the static half of the tier-1 gate: `make vet` / scripts/check.sh
+// run it with -severity warning.
+//
+// Usage:
+//
+//	opprox-vet [flags] [package-pattern ...]
+//
+// Patterns are module-relative directories ("internal/core", "./..."),
+// defaulting to ./... from the module root. Flags:
+//
+//	-severity level   minimum severity that fails the run (info|warning|error)
+//	-json             write the JSON report to stdout instead of text
+//	-out file         also write the JSON report to file
+//	-list             list registered analyzers and exit
+//
+// Exit status: 0 clean, 1 findings at or above the threshold, 2 usage or
+// load error. False positives are silenced in place with
+// `//opprox:vet-ignore <analyzer>` on the flagged line or the line above.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"opprox/internal/analysis"
+)
+
+func main() {
+	var (
+		severity = flag.String("severity", "warning", "minimum severity that fails the run (info|warning|error)")
+		jsonOut  = flag.Bool("json", false, "write the JSON report to stdout instead of text diagnostics")
+		outFile  = flag.String("out", "", "also write the JSON report to this file")
+		list     = flag.Bool("list", false, "list registered analyzers and exit")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: opprox-vet [flags] [package-pattern ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %-8s %s\n", a.Name, a.Severity, a.Doc)
+		}
+		return
+	}
+
+	min, err := analysis.ParseSeverity(*severity)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "opprox-vet:", err)
+		os.Exit(2)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "opprox-vet:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.Load(patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "opprox-vet:", err)
+		os.Exit(2)
+	}
+
+	analyzers := analysis.All()
+	diags := loader.Run(pkgs, analyzers)
+	report := analysis.NewReport(patterns, pkgs, analyzers, diags)
+
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "opprox-vet:", err)
+			os.Exit(2)
+		}
+		if err := report.WriteJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "opprox-vet:", err)
+			os.Exit(2)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "opprox-vet:", err)
+			os.Exit(2)
+		}
+	}
+
+	failing := len(analysis.Unsuppressed(diags, min))
+	if *jsonOut {
+		if err := report.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "opprox-vet:", err)
+			os.Exit(2)
+		}
+	} else {
+		analysis.WriteText(os.Stdout, diags, min)
+		fmt.Printf("opprox-vet: %d packages, %d findings at or above %s (%d suppressed)\n",
+			report.Packages, failing, min, report.Suppressed)
+	}
+	if failing > 0 {
+		os.Exit(1)
+	}
+}

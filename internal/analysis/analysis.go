@@ -1,0 +1,173 @@
+// Package analysis is OPPROX's in-tree static-analysis framework: a
+// stdlib-only driver over go/parser, go/ast, go/types and go/token (no
+// golang.org/x/tools dependency) plus a registry of analyzers that
+// enforce the repo's determinism and concurrency invariants (DESIGN.md
+// §8). The `opprox-vet` CLI and the tier-1 gate run every registered
+// analyzer over the module and fail on unsuppressed findings.
+//
+// A finding that is a false positive is silenced in place with a
+// suppression comment on the flagged line or the line above it:
+//
+//	//opprox:vet-ignore <analyzer>[,<analyzer>...]
+//
+// `//opprox:vet-ignore all` silences every analyzer for that line.
+// Suppressed diagnostics still appear in the JSON report, marked
+// Suppressed, so the gate can count them.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Severity ranks a diagnostic. The gate's -severity flag is a threshold:
+// findings at or above it fail the build.
+type Severity int
+
+const (
+	// Info is advisory: surfaced in reports, never fails the gate.
+	Info Severity = iota
+	// Warning marks code that risks nondeterminism under plausible change.
+	Warning
+	// Error marks a determinism or concurrency invariant violation.
+	Error
+)
+
+var severityNames = [...]string{Info: "info", Warning: "warning", Error: "error"}
+
+func (s Severity) String() string {
+	if s < Info || s > Error {
+		return fmt.Sprintf("severity(%d)", int(s))
+	}
+	return severityNames[s]
+}
+
+// MarshalJSON encodes the severity as its lowercase name.
+func (s Severity) MarshalJSON() ([]byte, error) {
+	return []byte(`"` + s.String() + `"`), nil
+}
+
+// UnmarshalJSON decodes a lowercase severity name.
+func (s *Severity) UnmarshalJSON(b []byte) error {
+	v, err := ParseSeverity(string(b[1 : len(b)-1]))
+	if err != nil {
+		return err
+	}
+	*s = v
+	return nil
+}
+
+// ParseSeverity maps a name ("info", "warning", "error") to a Severity.
+func ParseSeverity(name string) (Severity, error) {
+	for s, n := range severityNames {
+		if n == name {
+			return Severity(s), nil
+		}
+	}
+	return Info, fmt.Errorf("analysis: unknown severity %q (want info, warning or error)", name)
+}
+
+// Diagnostic is one position-annotated finding.
+type Diagnostic struct {
+	// Analyzer is the name of the analyzer that produced the finding.
+	Analyzer string `json:"analyzer"`
+	// Severity ranks the finding (see Severity).
+	Severity Severity `json:"severity"`
+	// File is the module-relative path of the flagged file.
+	File string `json:"file"`
+	// Line and Col are the 1-based position of the finding.
+	Line int `json:"line"`
+	Col  int `json:"col"`
+	// Message explains the finding and names the fix.
+	Message string `json:"message"`
+	// Suppressed reports that an //opprox:vet-ignore comment covers the
+	// finding; suppressed diagnostics never fail the gate.
+	Suppressed bool `json:"suppressed,omitempty"`
+}
+
+// String renders the diagnostic in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s [%s]", d.File, d.Line, d.Col, d.Severity, d.Message, d.Analyzer)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	// Analyzer is the analyzer this pass runs.
+	Analyzer *Analyzer
+	// Fset resolves token.Pos values for every file in the load.
+	Fset *token.FileSet
+	// Files are the package's parsed source files (tests excluded).
+	Files []*ast.File
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+	// Info holds the type-checker's expression and identifier facts.
+	Info *types.Info
+	// relFile maps an absolute filename to its module-relative form.
+	relFile func(string) string
+	report  func(Diagnostic)
+}
+
+// Reportf records a finding at pos with the analyzer's default severity.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.ReportSeverityf(p.Analyzer.Severity, pos, format, args...)
+}
+
+// ReportSeverityf records a finding at pos with an explicit severity.
+func (p *Pass) ReportSeverityf(sev Severity, pos token.Pos, format string, args ...interface{}) {
+	position := p.Fset.Position(pos)
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Severity: sev,
+		File:     p.relFile(position.Filename),
+		Line:     position.Line,
+		Col:      position.Column,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Analyzer is one registered check.
+type Analyzer struct {
+	// Name is the analyzer's registry key and its suppression token.
+	Name string
+	// Doc is a one-paragraph description shown by `opprox-vet -list`.
+	Doc string
+	// Severity is the default severity of the analyzer's findings.
+	Severity Severity
+	// Run inspects one package and reports findings through the pass.
+	Run func(*Pass)
+}
+
+var registry = map[string]*Analyzer{}
+
+// Register adds an analyzer to the global registry. It panics on a
+// duplicate or empty name — registration happens in init and a bad
+// registry is a programming error.
+func Register(a *Analyzer) {
+	if a.Name == "" {
+		panic("analysis: Register with empty name")
+	}
+	if _, dup := registry[a.Name]; dup {
+		panic("analysis: duplicate analyzer " + a.Name)
+	}
+	if a.Run == nil {
+		panic("analysis: analyzer " + a.Name + " has no Run")
+	}
+	registry[a.Name] = a
+}
+
+// All returns every registered analyzer, sorted by name so runs are
+// reproducible.
+func All() []*Analyzer {
+	out := make([]*Analyzer, 0, len(registry))
+	for _, a := range registry {
+		out = append(out, a)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup returns the named analyzer, or nil.
+func Lookup(name string) *Analyzer { return registry[name] }

@@ -1,0 +1,76 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Floatacc flags floating-point reduction over an unordered source: a
+// compound assignment (+=, -=, *=, /=) or x = x op e that accumulates
+// into a float variable declared outside a range-over-map loop. Float
+// addition is not associative, so the randomized iteration order changes
+// the low bits of the sum — enough to break OPPROX's byte-identical
+// model-fit guarantee. Iterate sorted keys (or accumulate per-key and
+// reduce in sorted order) instead.
+var Floatacc = &Analyzer{
+	Name:     "floatacc",
+	Doc:      "float accumulation inside range-over-map; iteration order changes the result — reduce over sorted keys",
+	Severity: Warning,
+	Run:      runFloatacc,
+}
+
+func init() { Register(Floatacc) }
+
+var compoundOps = map[token.Token]bool{
+	token.ADD_ASSIGN: true, token.SUB_ASSIGN: true,
+	token.MUL_ASSIGN: true, token.QUO_ASSIGN: true,
+}
+
+var binaryOps = map[token.Token]bool{
+	token.ADD: true, token.SUB: true, token.MUL: true, token.QUO: true,
+}
+
+func runFloatacc(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok || !isMapRange(pass.Info, rs) {
+				return true
+			}
+			checkFloatAcc(pass, rs)
+			return true
+		})
+	}
+}
+
+func checkFloatAcc(pass *Pass, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 {
+			return true
+		}
+		target := objOf(pass.Info, as.Lhs[0])
+		if target == nil || !declaredOutside(target, rs) || !isFloat(target.Type()) {
+			return true
+		}
+		accumulates := compoundOps[as.Tok]
+		if !accumulates && as.Tok == token.ASSIGN {
+			// x = x op e (or x = e op x).
+			if be, ok := ast.Unparen(as.Rhs[0]).(*ast.BinaryExpr); ok && binaryOps[be.Op] {
+				accumulates = objOf(pass.Info, be.X) == target || objOf(pass.Info, be.Y) == target
+			}
+		}
+		if accumulates {
+			pass.Reportf(as.Pos(), "float accumulation into %q inside range over map: iteration order changes the result; reduce over sorted keys", target.Name())
+		}
+		return true
+	})
+}
+
+// isFloat reports whether t is (or is named with underlying) float32 or
+// float64.
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

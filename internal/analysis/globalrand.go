@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// Globalrand flags the process-global math/rand source: top-level
+// convenience functions (rand.Intn, rand.Float64, rand.Shuffle, ...) and
+// sources seeded from the wall clock. Every random stream in OPPROX must
+// come from an explicitly seeded *rand.Rand so that a (app, seed) pair
+// replays byte-identically; the global source is shared across goroutines
+// and seeded per-process, which breaks both replay and the parallel ==
+// serial guarantee. Test files are not analyzed.
+var Globalrand = &Analyzer{
+	Name:     "globalrand",
+	Doc:      "math/rand top-level functions or wall-clock-seeded sources; use rand.New(rand.NewSource(seed)) with a run-derived seed",
+	Severity: Error,
+	Run:      runGlobalrand,
+}
+
+func init() { Register(Globalrand) }
+
+// randConstructors are the math/rand functions that build an explicit
+// generator rather than using the global one; they are allowed unless
+// seeded from the wall clock.
+var randConstructors = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	// math/rand/v2 constructors.
+	"NewPCG": true, "NewChaCha8": true,
+}
+
+func runGlobalrand(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := pkgCall(pass.Info, call)
+			if !ok || (path != "math/rand" && path != "math/rand/v2") {
+				return true
+			}
+			if !randConstructors[name] {
+				pass.Reportf(call.Pos(), "%s.%s uses the process-global random source; draw from an explicitly seeded *rand.Rand so runs replay byte-identically", path, name)
+				return true
+			}
+			for _, arg := range call.Args {
+				if callsInto(pass.Info, arg, "time", "Now") {
+					pass.Reportf(call.Pos(), "%s.%s seeded from the wall clock; derive the seed from run configuration so runs replay byte-identically", path, name)
+					// One finding per constructor chain: don't re-flag a
+					// nested NewSource inside an already-flagged New.
+					return false
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,202 @@
+package analysis_test
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	"opprox/internal/analysis"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files from current analyzer output")
+
+// sharedLoader hands every test the same loader, so the standard library
+// is type-checked once per test binary.
+var sharedLoader = sync.OnceValues(func() (*analysis.Loader, error) {
+	return analysis.NewLoader(".")
+})
+
+func loader(t *testing.T) *analysis.Loader {
+	t.Helper()
+	l, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	return l
+}
+
+// render serializes diagnostics into the golden-file format: one
+// String() line per finding, suppressed ones marked.
+func render(diags []analysis.Diagnostic) string {
+	var b strings.Builder
+	for _, d := range diags {
+		b.WriteString(d.String())
+		if d.Suppressed {
+			b.WriteString(" (suppressed)")
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestGolden runs each analyzer over its seeded fixture and asserts the
+// diagnostics match the golden file exactly. The maporder fixture
+// reconstructs the PR 1 map-order bug, which the analyzer must flag.
+func TestGolden(t *testing.T) {
+	cases := []struct {
+		name   string
+		asPath string // import-path override (walltime must pose as internal/core)
+	}{
+		{name: "maporder"},
+		{name: "globalrand"},
+		{name: "walltime", asPath: "opprox/internal/core/walltimefixture"},
+		{name: "mutexcopy"},
+		{name: "floatacc"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := analysis.Lookup(tc.name)
+			if a == nil {
+				t.Fatalf("analyzer %q not registered", tc.name)
+			}
+			l := loader(t)
+			pkg, err := l.LoadDir(filepath.Join("testdata", "src", tc.name), tc.asPath)
+			if err != nil {
+				t.Fatalf("LoadDir: %v", err)
+			}
+			diags := l.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+			if len(diags) == 0 {
+				t.Fatalf("analyzer %q found nothing in its seeded fixture", tc.name)
+			}
+			got := render(diags)
+
+			goldenPath := filepath.Join("testdata", tc.name+".golden")
+			if *update {
+				if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+					t.Fatalf("write golden: %v", err)
+				}
+				return
+			}
+			want, err := os.ReadFile(goldenPath)
+			if err != nil {
+				t.Fatalf("read golden (run `go test -run TestGolden -update ./internal/analysis` to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("diagnostics differ from %s\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+			}
+		})
+	}
+}
+
+// TestSuppression covers every spelling of the ignore directive.
+func TestSuppression(t *testing.T) {
+	l := loader(t)
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "suppress"), "")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	diags := l.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{analysis.Lookup("globalrand")})
+	if len(diags) != 5 {
+		t.Fatalf("got %d diagnostics, want 5:\n%s", len(diags), render(diags))
+	}
+	suppressed := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed++
+		}
+	}
+	if suppressed != 4 {
+		t.Errorf("got %d suppressed, want 4:\n%s", suppressed, render(diags))
+	}
+	unsuppressed := analysis.Unsuppressed(diags, analysis.Info)
+	if len(unsuppressed) != 1 || unsuppressed[0].Line != 30 {
+		t.Errorf("want exactly the WrongName finding (line 30) unsuppressed, got:\n%s", render(unsuppressed))
+	}
+}
+
+// TestSelfCheck runs the full analyzer set over the whole repository and
+// asserts zero unsuppressed findings — the invariant the tier-1 gate
+// enforces from now on.
+func TestSelfCheck(t *testing.T) {
+	l := loader(t)
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatalf("Load ./...: %v", err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("Load ./... returned %d packages; expected the whole module", len(pkgs))
+	}
+	diags := l.Run(pkgs, nil)
+	if bad := analysis.Unsuppressed(diags, analysis.Info); len(bad) > 0 {
+		t.Errorf("repository has %d unsuppressed findings:\n%s", len(bad), render(bad))
+	}
+}
+
+// TestFixturesSkippedByPatterns asserts recursive patterns skip testdata:
+// the fixtures deliberately violate every invariant, and must never leak
+// into a ./... run.
+func TestFixturesSkippedByPatterns(t *testing.T) {
+	l := loader(t)
+	pkgs, err := l.Load("internal/analysis/...")
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	for _, p := range pkgs {
+		if strings.Contains(p.Path, "testdata") {
+			t.Errorf("pattern expansion descended into %s", p.Path)
+		}
+	}
+	if len(pkgs) != 1 {
+		t.Errorf("got %d packages, want just internal/analysis", len(pkgs))
+	}
+}
+
+// TestReportCounts pins the JSON report's summary fields.
+func TestReportCounts(t *testing.T) {
+	l := loader(t)
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "suppress"), "")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	analyzers := []*analysis.Analyzer{analysis.Lookup("globalrand")}
+	diags := l.Run([]*analysis.Package{pkg}, analyzers)
+	rep := analysis.NewReport([]string{"testdata/src/suppress"}, []*analysis.Package{pkg}, analyzers, diags)
+	if rep.Packages != 1 || rep.Suppressed != 4 || rep.BySeverity["error"] != 1 {
+		t.Errorf("report summary wrong: packages=%d suppressed=%d by_severity=%v",
+			rep.Packages, rep.Suppressed, rep.BySeverity)
+	}
+	var b strings.Builder
+	if err := rep.WriteJSON(&b); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	for _, want := range []string{`"analyzer": "globalrand"`, `"severity": "error"`, `"suppressed": 4`} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("JSON report missing %s:\n%s", want, b.String())
+		}
+	}
+}
+
+// TestSeverityRoundTrip pins severity parsing and JSON encoding.
+func TestSeverityRoundTrip(t *testing.T) {
+	for _, s := range []analysis.Severity{analysis.Info, analysis.Warning, analysis.Error} {
+		parsed, err := analysis.ParseSeverity(s.String())
+		if err != nil || parsed != s {
+			t.Errorf("ParseSeverity(%q) = %v, %v", s.String(), parsed, err)
+		}
+		b, err := s.MarshalJSON()
+		if err != nil || string(b) != fmt.Sprintf("%q", s.String()) {
+			t.Errorf("MarshalJSON(%v) = %s, %v", s, b, err)
+		}
+		var back analysis.Severity
+		if err := back.UnmarshalJSON(b); err != nil || back != s {
+			t.Errorf("UnmarshalJSON(%s) = %v, %v", b, back, err)
+		}
+	}
+	if _, err := analysis.ParseSeverity("fatal"); err == nil {
+		t.Error("ParseSeverity(fatal) should fail")
+	}
+}

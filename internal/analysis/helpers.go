@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// pkgNameOf returns the imported package a selector's qualifier refers
+// to, or nil when the qualifier is not a package name (e.g. a variable).
+func pkgNameOf(info *types.Info, sel *ast.SelectorExpr) *types.Package {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return nil
+	}
+	return pn.Imported()
+}
+
+// pkgCall reports whether call invokes a package-level function, and if
+// so returns the package path and function name.
+func pkgCall(info *types.Info, call *ast.CallExpr) (path, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	pkg := pkgNameOf(info, sel)
+	if pkg == nil {
+		return "", "", false
+	}
+	return pkg.Path(), sel.Sel.Name, true
+}
+
+// isMapRange reports whether rs ranges over a value of map type.
+func isMapRange(info *types.Info, rs *ast.RangeStmt) bool {
+	t := info.TypeOf(rs.X)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// objOf resolves an expression to the variable object it names, or nil.
+func objOf(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Uses[id]; obj != nil {
+		return obj
+	}
+	return info.Defs[id]
+}
+
+// declaredOutside reports whether obj's declaration lies outside node's
+// source range — i.e. the object outlives the loop body it is used in.
+func declaredOutside(obj types.Object, node ast.Node) bool {
+	if obj == nil || !obj.Pos().IsValid() {
+		return false
+	}
+	return obj.Pos() < node.Pos() || obj.Pos() >= node.End()
+}
+
+// mentions reports whether the subtree rooted at n uses obj.
+func mentions(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := c.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// callsInto reports whether the subtree rooted at n calls a package-level
+// function of pkgPath (optionally restricted to the named functions).
+func callsInto(info *types.Info, n ast.Node, pkgPath string, names ...string) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := c.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		path, name, ok := pkgCall(info, call)
+		if !ok || path != pkgPath {
+			return true
+		}
+		if len(names) == 0 {
+			found = true
+			return false
+		}
+		for _, want := range names {
+			if name == want {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// stmtLists yields every statement list in the file (block bodies and
+// switch/select clause bodies), unwrapping labeled statements so a
+// labeled range statement is still seen with its trailing siblings.
+func stmtLists(f *ast.File, visit func(list []ast.Stmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch b := n.(type) {
+		case *ast.BlockStmt:
+			visit(unlabel(b.List))
+		case *ast.CaseClause:
+			visit(unlabel(b.Body))
+		case *ast.CommClause:
+			visit(unlabel(b.Body))
+		}
+		return true
+	})
+}
+
+// unlabel replaces labeled statements with their wrapped statement so
+// callers can type-switch on the concrete statement kind.
+func unlabel(list []ast.Stmt) []ast.Stmt {
+	out := make([]ast.Stmt, len(list))
+	for i, s := range list {
+		for {
+			ls, ok := s.(*ast.LabeledStmt)
+			if !ok {
+				break
+			}
+			s = ls.Stmt
+		}
+		out[i] = s
+	}
+	return out
+}

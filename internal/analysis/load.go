@@ -1,0 +1,318 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	// Path is the package's import path (or the override the caller gave).
+	Path string
+	// Dir is the absolute directory the package was parsed from.
+	Dir string
+	// Files are the parsed non-test source files, sorted by filename.
+	Files []*ast.File
+	// Types is the type-checked package object.
+	Types *types.Package
+	// Info holds the type-checker's facts for Files.
+	Info *types.Info
+}
+
+// Loader parses and type-checks packages of one module. Imports inside
+// the module resolve by parsing the corresponding directory; standard
+// library imports delegate to the stdlib source importer. A Loader
+// memoizes every package it checks, so loading the whole module
+// type-checks each dependency once. Not safe for concurrent use.
+type Loader struct {
+	// Fset is the file set shared by every package this loader touches.
+	Fset *token.FileSet
+
+	moduleDir  string
+	modulePath string
+	std        types.ImporterFrom
+	pkgs       map[string]*Package
+	loading    map[string]bool
+}
+
+// NewLoader returns a loader rooted at the module containing dir. It
+// reads the module path from go.mod.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	root, path, err := findModule(abs)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:       fset,
+		moduleDir:  root,
+		modulePath: path,
+		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:       map[string]*Package{},
+		loading:    map[string]bool{},
+	}, nil
+}
+
+// ModuleDir returns the absolute module root directory.
+func (l *Loader) ModuleDir() string { return l.moduleDir }
+
+// ModulePath returns the module path from go.mod.
+func (l *Loader) ModulePath() string { return l.modulePath }
+
+// findModule walks upward from dir to the enclosing go.mod and returns
+// the module root directory and module path.
+func findModule(dir string) (root, path string, err error) {
+	for d := dir; ; {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return d, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("analysis: no module line in %s/go.mod", d)
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", "", fmt.Errorf("analysis: no go.mod at or above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// Load expands the given package patterns and returns the matching
+// packages, type-checked and sorted by import path. Patterns are
+// module-relative directories ("./internal/core", "internal/core"), the
+// recursive form "dir/..." or "./...", or import paths inside the module
+// ("opprox/internal/core"). Directories named testdata, hidden
+// directories, and directories with no non-test .go files are skipped by
+// recursive patterns.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := l.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	pkgs := make([]*Package, 0, len(dirs))
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir, "")
+		if err != nil {
+			return nil, err
+		}
+		if pkg != nil {
+			pkgs = append(pkgs, pkg)
+		}
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].Path < pkgs[j].Path })
+	return pkgs, nil
+}
+
+// expand resolves patterns to a deduplicated, sorted list of absolute
+// package directories.
+func (l *Loader) expand(patterns []string) ([]string, error) {
+	seen := map[string]bool{}
+	var dirs []string
+	add := func(d string) {
+		if !seen[d] {
+			seen[d] = true
+			dirs = append(dirs, d)
+		}
+	}
+	for _, pat := range patterns {
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+			if pat == "." || pat == "" {
+				pat = "."
+			}
+		}
+		dir := l.dirFor(pat)
+		info, err := os.Stat(dir)
+		if err != nil || !info.IsDir() {
+			return nil, fmt.Errorf("analysis: pattern %q: no such directory %s", pat, dir)
+		}
+		if !recursive {
+			add(dir)
+			continue
+		}
+		err = filepath.WalkDir(dir, func(p string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if p != dir && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			if hasGoFiles(p) {
+				add(p)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// dirFor maps a pattern (module-relative directory or import path inside
+// the module) to an absolute directory.
+func (l *Loader) dirFor(pat string) string {
+	if pat == l.modulePath {
+		return l.moduleDir
+	}
+	if rest, ok := strings.CutPrefix(pat, l.modulePath+"/"); ok {
+		return filepath.Join(l.moduleDir, filepath.FromSlash(rest))
+	}
+	if filepath.IsAbs(pat) {
+		return filepath.Clean(pat)
+	}
+	return filepath.Join(l.moduleDir, filepath.FromSlash(pat))
+}
+
+// hasGoFiles reports whether dir directly contains a non-test .go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		if !e.IsDir() && isSourceFile(e.Name()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isSourceFile reports whether name is a buildable non-test Go file.
+func isSourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") &&
+		!strings.HasSuffix(name, "_test.go") &&
+		!strings.HasPrefix(name, ".") &&
+		!strings.HasPrefix(name, "_")
+}
+
+// LoadDir parses and type-checks the single package in dir. asPath, when
+// non-empty, overrides the computed import path — test fixtures use it to
+// pose as restricted packages (e.g. a path under opprox/internal/core for
+// the walltime analyzer). It returns (nil, nil) when dir has no non-test
+// Go files.
+func (l *Loader) LoadDir(dir, asPath string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path := asPath
+	if path == "" {
+		path = l.pathFor(abs)
+	}
+	return l.check(path, abs)
+}
+
+// pathFor derives an import path for an absolute directory inside the
+// module; directories outside it fall back to a filesystem-rooted path.
+func (l *Loader) pathFor(abs string) string {
+	if abs == l.moduleDir {
+		return l.modulePath
+	}
+	if rel, err := filepath.Rel(l.moduleDir, abs); err == nil && !strings.HasPrefix(rel, "..") {
+		return l.modulePath + "/" + filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(abs)
+}
+
+// check parses and type-checks the package in dir, memoized by path.
+func (l *Loader) check(path, dir string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("analysis: import cycle through %s", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	var fileNames []string
+	for _, e := range entries {
+		if e.IsDir() || !isSourceFile(e.Name()) {
+			continue
+		}
+		fileNames = append(fileNames, filepath.Join(dir, e.Name()))
+	}
+	if len(fileNames) == 0 {
+		return nil, nil
+	}
+	sort.Strings(fileNames)
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-check %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// Import implements types.Importer (unqualified imports resolve relative
+// to the module root).
+func (l *Loader) Import(path string) (*types.Package, error) {
+	return l.ImportFrom(path, l.moduleDir, 0)
+}
+
+// ImportFrom implements types.ImporterFrom: module-local import paths are
+// parsed and checked from the module tree; everything else (the standard
+// library — the module has no external dependencies) goes to the stdlib
+// source importer.
+func (l *Loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == l.modulePath || strings.HasPrefix(path, l.modulePath+"/") {
+		pkg, err := l.check(path, l.dirFor(path))
+		if err != nil {
+			return nil, err
+		}
+		if pkg == nil {
+			return nil, fmt.Errorf("analysis: no Go files in %s", path)
+		}
+		return pkg.Types, nil
+	}
+	return l.std.ImportFrom(path, dir, mode)
+}

@@ -1,0 +1,147 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Maporder flags range-over-map loops whose bodies have order-dependent
+// effects — the bug class PR 1 had to hand-fix in multi-class model
+// fitting. Go's map iteration order is deliberately randomized, so a body
+// that appends to an outer slice, writes output, or feeds a hash or
+// encoder produces run-to-run different results. The canonical fix —
+// collect the keys, sort them, then iterate the sorted slice — is
+// recognized and not flagged: an append of loop state into a variable
+// that a following statement passes to sort or slices is exempt.
+var Maporder = &Analyzer{
+	Name:     "maporder",
+	Doc:      "order-dependent effects (append to outer slice, output, hashing/encoding) inside range-over-map; iterate sorted keys instead",
+	Severity: Error,
+	Run:      runMaporder,
+}
+
+func init() { Register(Maporder) }
+
+// sinkPkgPrefixes are packages whose package-level functions make map
+// iteration order observable: formatted output, raw writes, encoders and
+// hashes.
+var sinkPkgPrefixes = []string{
+	"fmt", "io", "bufio", "encoding", "hash", "crypto", "compress",
+}
+
+// sinkMethods are method names that make iteration order observable on
+// any receiver (writers, encoders, hashes).
+var sinkMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "Sum": true,
+}
+
+func runMaporder(pass *Pass) {
+	for _, f := range pass.Files {
+		stmtLists(f, func(list []ast.Stmt) {
+			for i, stmt := range list {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok || !isMapRange(pass.Info, rs) {
+					continue
+				}
+				checkMapRange(pass, rs, list[i+1:])
+			}
+		})
+	}
+}
+
+// checkMapRange inspects one map-range body; rest is the statement list
+// following the loop, consulted for the sort-after-collect exemption.
+func checkMapRange(pass *Pass, rs *ast.RangeStmt, rest []ast.Stmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if target := appendTarget(pass.Info, call); target != nil {
+			if declaredOutside(target, rs) && !sortedAfter(pass.Info, rest, target) {
+				pass.Reportf(call.Pos(), "append to %q inside range over map %s depends on iteration order; collect keys and sort, or sort %q before use",
+					target.Name(), typeLabel(pass, rs.X), target.Name())
+			}
+			return true
+		}
+		if path, name, ok := pkgCall(pass.Info, call); ok {
+			if isSinkPkg(path) {
+				pass.Reportf(call.Pos(), "%s.%s inside range over map %s emits in iteration order; iterate sorted keys",
+					path, name, typeLabel(pass, rs.X))
+			}
+			return true
+		}
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if s := pass.Info.Selections[sel]; s != nil && s.Kind() == types.MethodVal && sinkMethods[sel.Sel.Name] {
+				pass.Reportf(call.Pos(), "%s call inside range over map %s feeds a writer/hash in iteration order; iterate sorted keys",
+					sel.Sel.Name, typeLabel(pass, rs.X))
+			}
+		}
+		return true
+	})
+}
+
+// appendTarget returns the variable a built-in append call grows, or nil
+// when the call is not an append of that shape.
+func appendTarget(info *types.Info, call *ast.CallExpr) types.Object {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "append" || len(call.Args) == 0 {
+		return nil
+	}
+	if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+		return nil
+	}
+	return objOf(info, call.Args[0])
+}
+
+// sortedAfter reports whether a statement after the loop passes the
+// collected variable to sort or slices — the sorted-keys idiom.
+func sortedAfter(info *types.Info, rest []ast.Stmt, target types.Object) bool {
+	for _, s := range rest {
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			if found {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if path, _, ok := pkgCall(info, call); !ok || (path != "sort" && path != "slices") {
+				return true
+			}
+			for _, arg := range call.Args {
+				if mentions(info, arg, target) {
+					found = true
+				}
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// isSinkPkg reports whether a package path is an output/encoding/hash
+// package whose calls expose iteration order.
+func isSinkPkg(path string) bool {
+	for _, p := range sinkPkgPrefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// typeLabel renders the ranged expression's type for messages.
+func typeLabel(pass *Pass, x ast.Expr) string {
+	t := pass.Info.TypeOf(x)
+	if t == nil {
+		return "(unknown)"
+	}
+	return types.TypeString(t, types.RelativeTo(pass.Pkg))
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Mutexcopy flags functions that pass or return a lock by value: a
+// parameter, result or method receiver whose type is (or embeds, through
+// struct or array fields) sync.Mutex, sync.RWMutex, sync.WaitGroup,
+// sync.Once, sync.Cond, sync.Map, sync.Pool or a sync/atomic value type.
+// A copied lock guards nothing — the copy and the original lock
+// independently — which is exactly the failure mode that would corrupt
+// the parallel experiment engine. Pass a pointer instead.
+var Mutexcopy = &Analyzer{
+	Name:     "mutexcopy",
+	Doc:      "sync.Mutex/WaitGroup (or types containing one) passed, returned or received by value; pass a pointer",
+	Severity: Error,
+	Run:      runMutexcopy,
+}
+
+func init() { Register(Mutexcopy) }
+
+// lockTypes are the by-value-unsafe named types, keyed by package path.
+var lockTypes = map[string]map[string]bool{
+	"sync": {
+		"Mutex": true, "RWMutex": true, "WaitGroup": true, "Once": true,
+		"Cond": true, "Map": true, "Pool": true,
+	},
+	"sync/atomic": {
+		"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+		"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+	},
+}
+
+func runMutexcopy(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Recv != nil {
+					checkFieldList(pass, fn.Recv, "receiver")
+				}
+				checkFieldList(pass, fn.Type.Params, "parameter")
+				checkFieldList(pass, fn.Type.Results, "result")
+			case *ast.FuncLit:
+				checkFieldList(pass, fn.Type.Params, "parameter")
+				checkFieldList(pass, fn.Type.Results, "result")
+			}
+			return true
+		})
+	}
+}
+
+func checkFieldList(pass *Pass, fl *ast.FieldList, role string) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		t := pass.Info.TypeOf(field.Type)
+		if t == nil {
+			continue
+		}
+		if lock := lockIn(t, map[types.Type]bool{}); lock != "" {
+			pass.Reportf(field.Type.Pos(), "%s of type %s copies %s by value; a copied lock guards nothing — pass a pointer",
+				role, types.TypeString(t, types.RelativeTo(pass.Pkg)), lock)
+		}
+	}
+}
+
+// lockIn returns the name of the lock type t carries by value ("" when
+// none): t itself, or a lock reached through struct fields, array
+// elements or named underlying types. Pointers, slices, maps, channels
+// and interfaces break the chain — they share, not copy.
+func lockIn(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	switch u := t.(type) {
+	case *types.Named:
+		obj := u.Obj()
+		if pkg := obj.Pkg(); pkg != nil {
+			if names := lockTypes[pkg.Path()]; names != nil && names[obj.Name()] {
+				return pkg.Path() + "." + obj.Name()
+			}
+		}
+		return lockIn(u.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lock := lockIn(u.Field(i).Type(), seen); lock != "" {
+				return lock
+			}
+		}
+	case *types.Array:
+		return lockIn(u.Elem(), seen)
+	case *types.Alias:
+		return lockIn(types.Unalias(t), seen)
+	}
+	return ""
+}

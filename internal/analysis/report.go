@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Report is the machine-readable result of one opprox-vet run.
+type Report struct {
+	// Patterns are the package patterns the run expanded.
+	Patterns []string `json:"patterns"`
+	// Packages is the number of packages analyzed.
+	Packages int `json:"packages"`
+	// Analyzers names the analyzers that ran, sorted.
+	Analyzers []string `json:"analyzers"`
+	// Diagnostics lists every finding, suppressed ones included.
+	Diagnostics []Diagnostic `json:"diagnostics"`
+	// Suppressed counts the findings silenced by ignore directives.
+	Suppressed int `json:"suppressed"`
+	// BySeverity counts unsuppressed findings per severity name.
+	BySeverity map[string]int `json:"by_severity,omitempty"`
+}
+
+// NewReport assembles a report from a finished run.
+func NewReport(patterns []string, pkgs []*Package, analyzers []*Analyzer, diags []Diagnostic) Report {
+	r := Report{
+		Patterns:    patterns,
+		Packages:    len(pkgs),
+		Analyzers:   make([]string, 0, len(analyzers)),
+		Diagnostics: diags,
+	}
+	if r.Diagnostics == nil {
+		r.Diagnostics = []Diagnostic{}
+	}
+	for _, a := range analyzers {
+		r.Analyzers = append(r.Analyzers, a.Name)
+	}
+	for _, d := range diags {
+		if d.Suppressed {
+			r.Suppressed++
+			continue
+		}
+		if r.BySeverity == nil {
+			r.BySeverity = map[string]int{}
+		}
+		r.BySeverity[d.Severity.String()]++
+	}
+	return r
+}
+
+// WriteJSON writes the indented JSON form of the report.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// Unsuppressed returns the diagnostics at or above the severity threshold
+// that no ignore directive covers — the findings that fail the gate.
+func Unsuppressed(diags []Diagnostic, min Severity) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range diags {
+		if !d.Suppressed && d.Severity >= min {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// WriteText prints the unsuppressed findings at or above min, one per
+// line, followed by a one-line summary. It returns the number of findings
+// printed.
+func WriteText(w io.Writer, diags []Diagnostic, min Severity) int {
+	failing := Unsuppressed(diags, min)
+	for _, d := range failing {
+		fmt.Fprintln(w, d)
+	}
+	return len(failing)
+}

@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// ignoreDirective is the suppression comment prefix the driver honors:
+// //opprox:vet-ignore <analyzer>[,<analyzer>...] on the flagged line or
+// the line directly above it.
+const ignoreDirective = "opprox:vet-ignore"
+
+// Run executes the analyzers over the packages and returns every
+// diagnostic — suppressed ones included, marked — sorted by file, line,
+// column and analyzer. A nil analyzer slice means All().
+func (l *Loader) Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	if analyzers == nil {
+		analyzers = All()
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		suppress := suppressions(l, pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     l.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				relFile:  l.relFile,
+				report: func(d Diagnostic) {
+					d.Suppressed = suppress[d.File].covers(d.Line, d.Analyzer)
+					diags = append(diags, d)
+				},
+			}
+			a.Run(pass)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// relFile maps an absolute filename to a module-relative slash path, so
+// diagnostics and golden files are machine-independent.
+func (l *Loader) relFile(name string) string {
+	if rel, err := filepath.Rel(l.moduleDir, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(name)
+}
+
+// ignoreSet records, per line, which analyzers an //opprox:vet-ignore
+// comment silences ("all" silences every analyzer).
+type ignoreSet map[int]map[string]bool
+
+// covers reports whether the set silences the analyzer at the line (the
+// directive may sit on the flagged line or the line above it).
+func (s ignoreSet) covers(line int, analyzer string) bool {
+	for _, ln := range [2]int{line, line - 1} {
+		if names := s[ln]; names != nil && (names[analyzer] || names["all"]) {
+			return true
+		}
+	}
+	return false
+}
+
+// suppressions scans a package's comments for ignore directives, keyed by
+// module-relative filename.
+func suppressions(l *Loader, pkg *Package) map[string]ignoreSet {
+	out := map[string]ignoreSet{}
+	for _, f := range pkg.Files {
+		var set ignoreSet
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				names, ok := parseIgnore(c)
+				if !ok {
+					continue
+				}
+				if set == nil {
+					set = ignoreSet{}
+				}
+				line := l.Fset.Position(c.Pos()).Line
+				if set[line] == nil {
+					set[line] = map[string]bool{}
+				}
+				for _, n := range names {
+					set[line][n] = true
+				}
+			}
+		}
+		if set != nil {
+			out[l.relFile(l.Fset.Position(f.Pos()).Filename)] = set
+		}
+	}
+	return out
+}
+
+// parseIgnore extracts the analyzer names from one comment, if it is an
+// ignore directive.
+func parseIgnore(c *ast.Comment) ([]string, bool) {
+	text, ok := strings.CutPrefix(c.Text, "//")
+	if !ok {
+		return nil, false // block comments are not directives
+	}
+	text, ok = strings.CutPrefix(strings.TrimSpace(text), ignoreDirective)
+	if !ok {
+		return nil, false
+	}
+	var names []string
+	for _, n := range strings.Split(text, ",") {
+		if n = strings.TrimSpace(n); n != "" {
+			names = append(names, n)
+		}
+	}
+	return names, len(names) > 0
+}

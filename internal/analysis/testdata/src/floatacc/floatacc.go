@@ -1,0 +1,52 @@
+// Package floatacc is the seeded fixture for the floatacc analyzer.
+package floatacc
+
+// Sum accumulates a float in map iteration order.
+func Sum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// SumExpr uses the x = x + v spelling of the same reduction.
+func SumExpr(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total = total + v
+	}
+	return total
+}
+
+// Count reduces an integer; order-independent, not flagged.
+func Count(m map[string]float64) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// PerKey accumulates into a variable scoped to one iteration; the inner
+// reduction runs over an ordered slice. Not flagged.
+func PerKey(m map[string][]float64) map[string]float64 {
+	out := make(map[string]float64, len(m))
+	for k, vs := range m {
+		s := 0.0
+		for _, v := range vs {
+			s += v
+		}
+		out[k] = s
+	}
+	return out
+}
+
+// Slice reduces over an ordered source; not flagged.
+func Slice(vs []float64) float64 {
+	s := 0.0
+	for _, v := range vs {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,29 @@
+// Package globalrand is the seeded fixture for the globalrand analyzer.
+package globalrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Roll draws from the process-global source.
+func Roll() int { return rand.Intn(6) }
+
+// Shuffle mutates through the process-global source.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Seeded is the sanctioned form: an explicit source with a run-derived
+// seed.
+func Seeded(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(6)
+}
+
+// WallSeeded derives the seed from the wall clock, so the run cannot be
+// replayed.
+func WallSeeded() int {
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	return rng.Intn(6)
+}

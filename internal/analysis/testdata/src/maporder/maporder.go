@@ -1,0 +1,70 @@
+// Package maporder is the seeded fixture for the maporder analyzer. Sigs
+// reconstructs the PR 1 multi-class model-fitting bug: class signatures
+// collected from a map in iteration order and consumed unsorted.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Sigs is the PR 1 bug shape: the caller receives the signatures in a
+// different order every run.
+func Sigs(classes map[string][]int) []string {
+	var sigs []string
+	for sig := range classes {
+		sigs = append(sigs, sig)
+	}
+	return sigs
+}
+
+// SortedSigs is the fixed form — collect then sort is exempt.
+func SortedSigs(classes map[string][]int) []string {
+	sigs := make([]string, 0, len(classes))
+	for sig := range classes {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	return sigs
+}
+
+// Render prints entries in iteration order.
+func Render(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v)
+	}
+}
+
+// Digest feeds a writer (a hash, in the motivating case) in iteration
+// order.
+func Digest(m map[string]int, w io.Writer) {
+	for k := range m {
+		w.Write([]byte(k))
+	}
+}
+
+// Local appends to a slice scoped to one iteration; order cannot leak.
+func Local(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var evens []int
+		for _, v := range vs {
+			if v%2 == 0 {
+				evens = append(evens, v)
+			}
+		}
+		n += len(evens)
+	}
+	return n
+}
+
+// Ignored carries a suppression directive; the finding is recorded but
+// marked suppressed.
+func Ignored(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) //opprox:vet-ignore maporder
+	}
+	return out
+}

@@ -1,0 +1,46 @@
+// Package mutexcopy is the seeded fixture for the mutexcopy analyzer.
+package mutexcopy
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Guarded embeds a mutex by value.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Counter embeds an atomic value.
+type Counter struct {
+	v atomic.Int64
+}
+
+// LockByValue receives a mutex by value: the callee locks a copy.
+func LockByValue(mu sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+// ByPointer is the correct form.
+func ByPointer(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+// StructByValue copies the lock embedded in Guarded.
+func StructByValue(g Guarded) int { return g.n }
+
+// Value copies the receiver, and with it the atomic counter.
+func (c Counter) Value() int64 { return c.v.Load() }
+
+// Inc uses a pointer receiver — the correct form.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// NewOnce returns a sync.Once by value; every caller gets an independent
+// copy.
+func NewOnce() sync.Once {
+	var once sync.Once
+	return once
+}

@@ -1,0 +1,31 @@
+// Package suppress exercises every form of the //opprox:vet-ignore
+// directive against deliberate globalrand findings.
+package suppress
+
+import "math/rand"
+
+// SameLine is silenced by a directive on the flagged line.
+func SameLine() int { return rand.Int() } //opprox:vet-ignore globalrand
+
+// LineAbove is silenced by a directive on the line above.
+func LineAbove() int {
+	//opprox:vet-ignore globalrand
+	return rand.Int()
+}
+
+// ListDirective names several analyzers; globalrand is among them.
+func ListDirective() int {
+	//opprox:vet-ignore maporder, globalrand
+	return rand.Int()
+}
+
+// AllDirective silences every analyzer on the line.
+func AllDirective() int {
+	return rand.Int() //opprox:vet-ignore all
+}
+
+// WrongName suppresses a different analyzer, so the finding stands.
+func WrongName() int {
+	//opprox:vet-ignore walltime
+	return rand.Int()
+}

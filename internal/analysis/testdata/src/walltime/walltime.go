@@ -1,0 +1,17 @@
+// Package walltime is the seeded fixture for the walltime analyzer. The
+// golden test loads it under an import path inside opprox/internal/core,
+// where wall-clock reads are forbidden.
+package walltime
+
+import "time"
+
+// Stamp reads the wall clock twice in the modeling path.
+func Stamp() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}
+
+// Fixed handles durations without reading the clock — not flagged.
+func Fixed() string {
+	return (2 * time.Second).String()
+}

@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Walltime flags wall-clock reads (time.Now, time.Since, time.Until) in
+// the modeling path — internal/core, internal/ml and internal/apps.
+// Those packages compute results that must be byte-identical across runs
+// and across serial/parallel execution, so wall time may only enter the
+// system through the observability layer (internal/obs, e.g. obs.Timer),
+// which is forbidden from feeding back into results. Packages outside
+// the restricted set are not analyzed.
+var Walltime = &Analyzer{
+	Name:     "walltime",
+	Doc:      "time.Now/time.Since/time.Until in internal/core, internal/ml or internal/apps; route wall time through internal/obs (obs.Timer)",
+	Severity: Error,
+	Run:      runWalltime,
+}
+
+func init() { Register(Walltime) }
+
+// walltimeRestricted are the import-path fragments naming the packages
+// whose results must not observe wall time.
+var walltimeRestricted = []string{
+	"/internal/core", "/internal/ml", "/internal/apps",
+}
+
+// wallClockFuncs are the time functions that read the wall clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func runWalltime(pass *Pass) {
+	restricted := false
+	for _, frag := range walltimeRestricted {
+		if strings.Contains(pass.Pkg.Path(), frag) {
+			restricted = true
+			break
+		}
+	}
+	if !restricted {
+		return
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			path, name, ok := pkgCall(pass.Info, call)
+			if ok && path == "time" && wallClockFuncs[name] {
+				pass.Reportf(call.Pos(), "time.%s in %s reads the wall clock in the modeling path; route timing through internal/obs (obs.Timer)", name, pass.Pkg.Path())
+			}
+			return true
+		})
+	}
+}

@@ -166,7 +166,7 @@ type Trained struct {
 // Train runs OPPROX's offline pipeline for an application: phase search,
 // sampling, control-flow classification, and model fitting.
 func Train(runner *apps.Runner, opts Options) (*Trained, error) {
-	start := time.Now()
+	stop := obs.Timer("core.train.duration")
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
@@ -195,9 +195,8 @@ func Train(runner *apps.Runner, opts Options) (*Trained, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.TrainTime = time.Since(start)
+	t.TrainTime = stop()
 	obs.Inc("core.train.runs")
-	obs.Observe("core.train.duration", t.TrainTime)
 	obs.LogEvent("core.train", "%s: %d phases, %d records in %s", app.Name(), phases, len(records), t.TrainTime.Round(time.Millisecond))
 	return t, nil
 }
@@ -405,10 +404,11 @@ func (t *Trained) fitTarget(xs [][]float64, ys []float64, scale targetScale, rng
 	if len(xs) == 0 {
 		return nil, errors.New("no samples")
 	}
-	defer func(start time.Time) {
+	stop := obs.Timer("core.fit.duration")
+	defer func() {
 		obs.Inc("core.fit.models")
-		obs.Observe("core.fit.duration", time.Since(start))
-	}(time.Now())
+		stop()
+	}()
 	if scale != scaleLinear {
 		ly := make([]float64, len(ys))
 		for i, y := range ys {
@@ -751,9 +751,11 @@ func (t *Trained) PhaseROI(p apps.Params) ([]float64, error) {
 // ModelQuality summarizes the global-model R² scores per phase (averaged
 // over classes) — the quantity the paper reports as modeling accuracy.
 func (t *Trained) ModelQuality() (speedupR2, degR2 float64) {
+	// Reduce in sorted class order: float addition is not associative, so
+	// map-order accumulation would change the low bits run to run.
 	n := 0
-	for _, cm := range t.Classes {
-		for _, pm := range cm.Phase {
+	for _, sig := range t.classSigs() {
+		for _, pm := range t.Classes[sig].Phase {
 			speedupR2 += pm.SpeedupR2
 			degR2 += pm.DegR2
 			n++
@@ -769,11 +771,22 @@ func (t *Trained) ModelQuality() (speedupR2, degR2 float64) {
 // development aid.
 func (t *Trained) DebugCI() string {
 	out := ""
-	for sig, cm := range t.Classes {
-		for _, pm := range cm.Phase {
+	for _, sig := range t.classSigs() {
+		for _, pm := range t.Classes[sig].Phase {
 			out += fmt.Sprintf("class %q phase %d: spdBands=%v degBands=%v spdR2=%.3f degR2=%.3f ROI=%.3f\n",
 				sig, pm.Phase, pm.SpeedupCI.Bands, pm.DegCI.Bands, pm.SpeedupR2, pm.DegR2, pm.ROI)
 		}
 	}
 	return out
+}
+
+// classSigs returns the trained control-flow class signatures in sorted
+// order, so every per-class reduction and rendering is deterministic.
+func (t *Trained) classSigs() []string {
+	sigs := make([]string, 0, len(t.Classes))
+	for sig := range t.Classes {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	return sigs
 }

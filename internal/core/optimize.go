@@ -37,7 +37,7 @@ type PhasePlan struct {
 // speedup whose conservative predicted degradation fits the phase budget,
 // and hand any unused budget to the remaining phases.
 func (t *Trained) Optimize(p apps.Params, budget float64) (approx.Schedule, Prediction, error) {
-	start := time.Now()
+	stop := obs.Timer("core.optimize.duration")
 	if budget < 0 {
 		return approx.Schedule{}, Prediction{}, fmt.Errorf("core: negative budget %g", budget)
 	}
@@ -246,9 +246,8 @@ func (t *Trained) Optimize(p apps.Params, budget float64) (approx.Schedule, Pred
 		savings = -4
 	}
 	pred.Speedup = 1 / (1 - savings)
-	pred.OptimizeTime = time.Since(start)
+	pred.OptimizeTime = stop()
 	obs.Inc("core.optimize.runs")
-	obs.Observe("core.optimize.duration", pred.OptimizeTime)
 	return sched, pred, nil
 }
 

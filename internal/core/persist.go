@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 
 	"opprox/internal/approx"
 	"opprox/internal/apps"
@@ -191,7 +192,15 @@ func LoadTrained(r io.Reader) (*Trained, error) {
 		}
 		t.ControlFlow = clf
 	}
-	for sig, cd := range mf.Classes {
+	// Validate classes in sorted order so a corrupt file reports the same
+	// error no matter the map iteration order.
+	sigs := make([]string, 0, len(mf.Classes))
+	for sig := range mf.Classes {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	for _, sig := range sigs {
+		cd := mf.Classes[sig]
 		cm := &ClassModels{CtxSig: cd.CtxSig}
 		if len(cd.Phase) != mf.Phases {
 			return nil, fmt.Errorf("core: class %q has %d phase models for %d phases", sig, len(cd.Phase), mf.Phases)

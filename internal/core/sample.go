@@ -5,7 +5,6 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
-	"time"
 
 	"opprox/internal/approx"
 	"opprox/internal/apps"
@@ -151,9 +150,7 @@ func (s *sampler) collectAll(combos []apps.Params, phases, jointSamples int) ([]
 	appName := app.Name()
 	obs.Add("core.sample.tasks", int64(len(tasks)))
 	obs.Add("core.sample."+appName+".tasks", int64(len(tasks)))
-	defer func(start time.Time) {
-		obs.Observe("core.sample.pool.duration", time.Since(start))
-	}(time.Now())
+	defer obs.Timer("core.sample.pool.duration")()
 
 	records := make([]Record, len(tasks))
 	errs := make([]error, workers)

@@ -161,13 +161,17 @@ func majority(labels []string, idx []int) (string, bool) {
 	return best, len(counts) == 1
 }
 
-func gini(counts map[string]int, total int) float64 {
+// gini computes Gini impurity, reducing over the caller-provided sorted
+// label order: float subtraction is not associative, so iterating the
+// counts map directly would let the randomized map order perturb the low
+// bits of split scores — and with them, tie-breaks in bestSplit.
+func gini(counts map[string]int, labels []string, total int) float64 {
 	if total == 0 {
 		return 0
 	}
 	g := 1.0
-	for _, n := range counts {
-		p := float64(n) / float64(total)
+	for _, l := range labels {
+		p := float64(counts[l]) / float64(total)
 		g -= p * p
 	}
 	return g
@@ -181,7 +185,12 @@ func bestSplit(xs [][]float64, labels []string, idx []int, minLeaf int) (feat in
 	for _, i := range idx {
 		parentCounts[labels[i]]++
 	}
-	parentGini := gini(parentCounts, total)
+	classLabels := make([]string, 0, len(parentCounts))
+	for l := range parentCounts {
+		classLabels = append(classLabels, l)
+	}
+	sort.Strings(classLabels)
+	parentGini := gini(parentCounts, classLabels, total)
 	bestGain := 0.0
 	bestFeat, bestThr := -1, 0.0
 	nf := len(xs[idx[0]])
@@ -206,7 +215,7 @@ func bestSplit(xs [][]float64, labels []string, idx []int, minLeaf int) (feat in
 				continue
 			}
 			g := parentGini -
-				(float64(nl)*gini(leftCounts, nl)+float64(nr)*gini(rightCounts, nr))/float64(total)
+				(float64(nl)*gini(leftCounts, classLabels, nl)+float64(nr)*gini(rightCounts, classLabels, nr))/float64(total)
 			if g > bestGain {
 				bestGain = g
 				bestFeat = f

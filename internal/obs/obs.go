@@ -351,6 +351,21 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 // Package-level helpers against the Default registry, so instrumented
 // code reads as a single call.
 
+// Timer starts a wall-clock timer against a Default-registry histogram.
+// The returned stop function observes the elapsed duration under name and
+// returns it. Timer is the only sanctioned way for the modeling path
+// (internal/core, internal/ml, internal/apps) to measure wall time: the
+// clock reads stay inside obs, where they cannot feed back into results
+// (invariant D3 in DESIGN.md §8; enforced by the walltime analyzer).
+func Timer(name string) func() time.Duration {
+	start := time.Now()
+	return func() time.Duration {
+		d := time.Since(start)
+		Default.Histogram(name).Observe(d)
+		return d
+	}
+}
+
 // Inc increments a Default-registry counter.
 func Inc(name string) { Default.Counter(name).Inc() }
 

@@ -1,0 +1,136 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+)
+
+// keysOf returns the sorted key set of a counters/gauges/histograms map.
+func keysOf[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestSnapshotStableUnderConcurrentLoad takes two JSON snapshots while
+// goroutines hammer a fixed metric set, and asserts both unmarshal to the
+// same counter (and gauge, and histogram) name set: concurrent load may
+// move values but must never make metrics flicker in and out of the
+// export.
+func TestSnapshotStableUnderConcurrentLoad(t *testing.T) {
+	r := New()
+	names := []string{"load.a", "load.b", "load.c", "load.d"}
+	for _, n := range names {
+		r.Counter(n).Inc()
+		r.Gauge(n).Set(1)
+		r.Histogram(n).Observe(time.Millisecond)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := names[(w+i)%len(names)]
+				r.Counter(n).Inc()
+				r.Gauge(n).Add(0.5)
+				r.Histogram(n).Observe(time.Duration(i%7) * time.Millisecond)
+				r.Event("load.tick", "w%d i%d", w, i)
+			}
+		}(w)
+	}
+
+	takeJSON := func() []byte {
+		var b bytes.Buffer
+		if err := r.WriteJSON(&b); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return b.Bytes()
+	}
+	first := takeJSON()
+	second := takeJSON()
+	close(stop)
+	wg.Wait()
+
+	var s1, s2 Snapshot
+	if err := json.Unmarshal(first, &s1); err != nil {
+		t.Fatalf("unmarshal first: %v", err)
+	}
+	if err := json.Unmarshal(second, &s2); err != nil {
+		t.Fatalf("unmarshal second: %v", err)
+	}
+	if got, want := keysOf(s1.Counters), keysOf(s2.Counters); !reflect.DeepEqual(got, want) {
+		t.Errorf("counter sets differ under load: %v vs %v", got, want)
+	}
+	if got, want := keysOf(s1.Gauges), keysOf(s2.Gauges); !reflect.DeepEqual(got, want) {
+		t.Errorf("gauge sets differ under load: %v vs %v", got, want)
+	}
+	if got, want := keysOf(s1.Histograms), keysOf(s2.Histograms); !reflect.DeepEqual(got, want) {
+		t.Errorf("histogram sets differ under load: %v vs %v", got, want)
+	}
+	for _, s := range []Snapshot{s1, s2} {
+		if !reflect.DeepEqual(keysOf(s.Counters), names) {
+			t.Errorf("counter set = %v, want %v", keysOf(s.Counters), names)
+		}
+	}
+}
+
+// TestSnapshotBytesDeterministicWhenQuiescent asserts a quiescent
+// registry snapshots to byte-identical JSON on repeated export — the
+// property `opprox-experiments -metrics` relies on for diffable output.
+func TestSnapshotBytesDeterministicWhenQuiescent(t *testing.T) {
+	r := New()
+	r.Counter("q.hits").Add(41)
+	r.Gauge("q.ratio").Set(0.75)
+	r.Histogram("q.dur").Observe(3 * time.Millisecond)
+
+	var first bytes.Buffer
+	if err := r.WriteJSON(&first); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	for i := 0; i < 10; i++ {
+		var again bytes.Buffer
+		if err := r.WriteJSON(&again); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), again.Bytes()) {
+			t.Fatalf("quiescent snapshots differ:\n%s\n%s", first.String(), again.String())
+		}
+	}
+}
+
+// TestTimer covers the obs.Timer helper the modeling path uses instead of
+// reading the wall clock directly (walltime analyzer, invariant D3).
+func TestTimer(t *testing.T) {
+	Default.Reset()
+	defer Default.Reset()
+
+	stop := Timer("timer.test")
+	d := stop()
+	if d < 0 {
+		t.Errorf("Timer returned negative duration %v", d)
+	}
+	snap := Default.Snapshot()
+	h, ok := snap.Histograms["timer.test"]
+	if !ok {
+		t.Fatal("Timer did not register histogram timer.test")
+	}
+	if h.Count != 1 {
+		t.Errorf("histogram count = %d, want 1", h.Count)
+	}
+}

@@ -1,0 +1,69 @@
+package trace
+
+// RecorderSnapshot is the JSON-stable export of a Recorder: everything a
+// run's work accounting observed, in a form that persists and rehydrates
+// without loss. Maps marshal with sorted keys under encoding/json, so two
+// identical recorders produce identical bytes — the same property the obs
+// registry snapshot relies on.
+type RecorderSnapshot struct {
+	// TotalWork is the total abstract work units recorded.
+	TotalWork uint64 `json:"total_work"`
+	// Iterations is the number of outer-loop iterations observed.
+	Iterations int `json:"iterations"`
+	// PerIteration is the work recorded during each outer iteration.
+	PerIteration []uint64 `json:"per_iteration,omitempty"`
+	// Context is the block-call sequence of the first outer iteration —
+	// the run's control-flow signature, element per block call.
+	Context []string `json:"context,omitempty"`
+	// BlockWork is the total work attributed to each block.
+	BlockWork map[string]uint64 `json:"block_work,omitempty"`
+}
+
+// Snapshot exports the recorder's state. The returned snapshot shares
+// nothing with the recorder; mutating one never affects the other.
+func (r *Recorder) Snapshot() RecorderSnapshot {
+	s := RecorderSnapshot{
+		TotalWork:  r.totalWork,
+		Iterations: r.iters,
+	}
+	if len(r.perIter) > 0 {
+		s.PerIteration = make([]uint64, len(r.perIter))
+		copy(s.PerIteration, r.perIter)
+	}
+	if len(r.ctxOnce) > 0 {
+		s.Context = make([]string, len(r.ctxOnce))
+		copy(s.Context, r.ctxOnce)
+	}
+	if len(r.perBlock) > 0 {
+		s.BlockWork = make(map[string]uint64, len(r.perBlock))
+		for b, w := range r.perBlock {
+			s.BlockWork[b] = w
+		}
+	}
+	return s
+}
+
+// FromSnapshot rehydrates a Recorder whose accessors report exactly what
+// the snapshotted recorder reported. The recorder shares nothing with the
+// snapshot.
+func FromSnapshot(s RecorderSnapshot) *Recorder {
+	r := &Recorder{
+		totalWork: s.TotalWork,
+		iters:     s.Iterations,
+	}
+	if len(s.PerIteration) > 0 {
+		r.perIter = make([]uint64, len(s.PerIteration))
+		copy(r.perIter, s.PerIteration)
+	}
+	if len(s.Context) > 0 {
+		r.ctxOnce = make([]string, len(s.Context))
+		copy(r.ctxOnce, s.Context)
+	}
+	if len(s.BlockWork) > 0 {
+		r.perBlock = make(map[string]uint64, len(s.BlockWork))
+		for b, w := range s.BlockWork {
+			r.perBlock[b] = w
+		}
+	}
+	return r
+}

@@ -1,7 +1,8 @@
 #!/bin/sh
-# Tier-1 gate: formatting, vet, build, and the full test suite under the
-# race detector. CI and pre-merge both run exactly this script; if it
-# passes locally it passes there.
+# Tier-1 gate: formatting, vet, the determinism/concurrency analyzers,
+# build, and the full test suite under the race detector. CI and
+# pre-merge both run exactly this script; if it passes locally it passes
+# there.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -16,6 +17,13 @@ fi
 
 echo "== go vet =="
 go vet ./...
+
+echo "== opprox-vet =="
+# Fails on any unsuppressed finding at or above warning; the JSON report
+# is written regardless, so a red run still leaves machine-readable
+# findings behind.
+echo "opprox-vet JSON report: opprox-vet.json"
+make -s vet
 
 echo "== go build =="
 go build ./...
