@@ -11,8 +11,12 @@ test:
 check:
 	sh scripts/check.sh
 
+# bench runs the kernel benchmark set through the trajectory harness and
+# writes BENCH_<pr>.json (see scripts/bench.sh). The root experiment-suite
+# benchmarks are excluded by design; run them directly with
+# `go test -bench=. .` when profiling end-to-end training.
 bench:
-	go test -bench=. -benchmem
+	sh scripts/bench.sh
 
 # vet runs the determinism/concurrency analyzers (internal/analysis) over
 # the module and fails on any unsuppressed finding at or above warning.

@@ -1,0 +1,305 @@
+// Command opprox-bench is the reproducible benchmark harness: it runs the
+// kernel benchmarks (`go test -bench`), parses the results, and records
+// the performance trajectory as a BENCH_<pr>.json file with a "baseline"
+// and a "current" section.
+//
+// Modes:
+//
+//	opprox-bench -pr 3 -out BENCH_3.json
+//	    Run the benchmark set and write the trajectory file. If the output
+//	    file already exists its baseline section is carried forward, so
+//	    the before/after pair survives re-runs; otherwise an explicit
+//	    -baseline-text (raw `go test -bench` output) seeds it, and failing
+//	    that the current numbers do.
+//
+//	opprox-bench -against BENCH_3.json -max 0.20
+//	    Re-run the benchmark set and fail (exit 1) if any benchmark's
+//	    ns/op regressed more than the tolerance against the committed
+//	    "current" numbers. scripts/check.sh runs this when BENCH=1.
+//
+//	opprox-bench -parse results.txt ...
+//	    Use a saved `go test -bench` output instead of running, for
+//	    ingesting measurements taken elsewhere.
+//
+// The experiment-suite benchmarks in the repository root are deliberately
+// excluded from the default set: they run end-to-end training pipelines
+// with multi-millisecond iterations and exist for profiling, not for the
+// regression gate.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// defaultPackages is the kernel benchmark set the trajectory tracks.
+var defaultPackages = []string{
+	"./internal/ml/linalg",
+	"./internal/ml/poly",
+	"./internal/ml/mic",
+	"./internal/ml/tree",
+	"./internal/core",
+}
+
+// Result is one benchmark measurement.
+type Result struct {
+	Iters    int     `json:"iters"`
+	NsOp     float64 `json:"ns_op"`
+	BOp      int64   `json:"b_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+// File is the on-disk trajectory format.
+type File struct {
+	PR       int               `json:"pr"`
+	Go       string            `json:"go"`
+	Bench    string            `json:"bench"`
+	Packages []string          `json:"packages"`
+	Note     string            `json:"note,omitempty"`
+	Baseline map[string]Result `json:"baseline"`
+	Current  map[string]Result `json:"current"`
+}
+
+func main() {
+	var (
+		pr           = flag.Int("pr", 3, "PR number for the trajectory file")
+		out          = flag.String("out", "", "write the trajectory JSON here (default BENCH_<pr>.json)")
+		benchRe      = flag.String("bench", ".", "benchmark regex passed to go test -bench")
+		benchtime    = flag.String("benchtime", "", "passed through to go test -benchtime when non-empty")
+		pkgsFlag     = flag.String("pkgs", "", "comma-separated package list (default: the kernel set)")
+		parseFile    = flag.String("parse", "", "parse saved `go test -bench` output from this file instead of running")
+		baselineText = flag.String("baseline-text", "", "seed the baseline section from this saved `go test -bench` output")
+		against      = flag.String("against", "", "compare a fresh run against this trajectory file's current section and exit non-zero on regression")
+		maxRegress   = flag.Float64("max", 0.20, "maximum tolerated fractional ns/op regression in -against mode")
+		note         = flag.String("note", "", "free-form note recorded in the trajectory file")
+	)
+	flag.Parse()
+
+	pkgs := defaultPackages
+	if *pkgsFlag != "" {
+		pkgs = strings.Split(*pkgsFlag, ",")
+	}
+
+	current, err := measure(*parseFile, *benchRe, *benchtime, pkgs)
+	if err != nil {
+		fatal(err)
+	}
+	if len(current) == 0 {
+		fatal(fmt.Errorf("no benchmark results found"))
+	}
+
+	if *against != "" {
+		committed, err := readFile(*against)
+		if err != nil {
+			fatal(err)
+		}
+		if err := compare(os.Stdout, committed.Current, current, *maxRegress); err != nil {
+			fmt.Fprintln(os.Stderr, "opprox-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("bench: no ns/op regression beyond %.0f%% against %s\n", *maxRegress*100, *against)
+		return
+	}
+
+	outPath := *out
+	if outPath == "" {
+		outPath = fmt.Sprintf("BENCH_%d.json", *pr)
+	}
+	baseline, err := resolveBaseline(outPath, *baselineText, current)
+	if err != nil {
+		fatal(err)
+	}
+	f := File{
+		PR:       *pr,
+		Go:       runtime.Version(),
+		Bench:    *benchRe,
+		Packages: pkgs,
+		Note:     *note,
+		Baseline: baseline,
+		Current:  current,
+	}
+	buf, err := json.MarshalIndent(&f, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	buf = append(buf, '\n')
+	if err := os.WriteFile(outPath, buf, 0o644); err != nil {
+		fatal(err)
+	}
+	summarize(os.Stdout, f)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "opprox-bench:", err)
+	os.Exit(2)
+}
+
+// measure obtains the current benchmark numbers: from a saved output file
+// when parsePath is set, otherwise by running `go test -bench`.
+func measure(parsePath, benchRe, benchtime string, pkgs []string) (map[string]Result, error) {
+	if parsePath != "" {
+		r, err := os.Open(parsePath)
+		if err != nil {
+			return nil, err
+		}
+		defer r.Close()
+		return parseBench(r)
+	}
+	args := []string{"test", "-run=^$", "-bench=" + benchRe, "-benchmem"}
+	if benchtime != "" {
+		args = append(args, "-benchtime="+benchtime)
+	}
+	args = append(args, pkgs...)
+	cmd := exec.Command("go", args...)
+	var outBuf bytes.Buffer
+	cmd.Stdout = io.MultiWriter(&outBuf, os.Stderr) // stream progress, keep a copy to parse
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %s: %w", strings.Join(args, " "), err)
+	}
+	return parseBench(&outBuf)
+}
+
+// parseBench extracts benchmark results from `go test -bench -benchmem`
+// output. Names are normalized by stripping the -GOMAXPROCS suffix, so
+// files compare across machines. Duplicate names are an error: the
+// trajectory file is keyed by bare benchmark name.
+func parseBench(r io.Reader) (map[string]Result, error) {
+	out := map[string]Result{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		iters, err := strconv.Atoi(fields[1])
+		if err != nil {
+			continue
+		}
+		res := Result{Iters: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, unit := fields[i], fields[i+1]
+			switch unit {
+			case "ns/op":
+				res.NsOp, err = strconv.ParseFloat(val, 64)
+			case "B/op":
+				res.BOp, err = strconv.ParseInt(val, 10, 64)
+			case "allocs/op":
+				res.AllocsOp, err = strconv.ParseInt(val, 10, 64)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("parsing %q: %w", sc.Text(), err)
+			}
+		}
+		if res.NsOp == 0 {
+			continue
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("duplicate benchmark name %q (trajectory files are keyed by bare name)", name)
+		}
+		out[name] = res
+	}
+	return out, sc.Err()
+}
+
+// resolveBaseline picks the baseline section for a new trajectory file:
+// an existing file's baseline wins (the before/after pair must survive
+// re-runs), then an explicit saved-output seed, then the current numbers.
+func resolveBaseline(outPath, baselineText string, current map[string]Result) (map[string]Result, error) {
+	if prev, err := readFile(outPath); err == nil && len(prev.Baseline) > 0 {
+		return prev.Baseline, nil
+	}
+	if baselineText != "" {
+		r, err := os.Open(baselineText)
+		if err != nil {
+			return nil, err
+		}
+		defer r.Close()
+		return parseBench(r)
+	}
+	return current, nil
+}
+
+func readFile(path string) (*File, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var f File
+	if err := json.Unmarshal(buf, &f); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &f, nil
+}
+
+func sortedNames(m map[string]Result) []string {
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// compare fails when any benchmark present in both maps regressed in
+// ns/op by more than maxRegress. Missing or new benchmarks are reported
+// but not fatal: adding a benchmark must not break the gate.
+func compare(w io.Writer, committed, current map[string]Result, maxRegress float64) error {
+	var regressions []string
+	for _, name := range sortedNames(committed) {
+		want := committed[name]
+		got, ok := current[name]
+		if !ok {
+			fmt.Fprintf(w, "bench: %s missing from current run (skipped)\n", name)
+			continue
+		}
+		ratio := got.NsOp / want.NsOp
+		fmt.Fprintf(w, "bench: %-40s %12.1f ns/op vs %12.1f committed (%+.1f%%)\n",
+			name, got.NsOp, want.NsOp, (ratio-1)*100)
+		if ratio > 1+maxRegress {
+			regressions = append(regressions, fmt.Sprintf("%s: %.1f ns/op vs %.1f committed (%.0f%% > %.0f%% tolerance)",
+				name, got.NsOp, want.NsOp, (ratio-1)*100, maxRegress*100))
+		}
+	}
+	for _, name := range sortedNames(current) {
+		if _, ok := committed[name]; !ok {
+			fmt.Fprintf(w, "bench: %s is new (not in committed file)\n", name)
+		}
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("ns/op regressions:\n  %s", strings.Join(regressions, "\n  "))
+	}
+	return nil
+}
+
+// summarize prints the trajectory (baseline -> current) for every
+// benchmark, sorted by name.
+func summarize(w io.Writer, f File) {
+	for _, name := range sortedNames(f.Current) {
+		cur := f.Current[name]
+		base, ok := f.Baseline[name]
+		if !ok || base.NsOp == 0 {
+			fmt.Fprintf(w, "%-40s %12.1f ns/op %8d allocs/op (no baseline)\n", name, cur.NsOp, cur.AllocsOp)
+			continue
+		}
+		fmt.Fprintf(w, "%-40s %12.1f -> %12.1f ns/op (%.2fx)  %d -> %d allocs/op\n",
+			name, base.NsOp, cur.NsOp, base.NsOp/cur.NsOp, base.AllocsOp, cur.AllocsOp)
+	}
+}

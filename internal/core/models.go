@@ -10,6 +10,7 @@ import (
 
 	"opprox/internal/approx"
 	"opprox/internal/apps"
+	"opprox/internal/ml/arena"
 	"opprox/internal/ml/conf"
 	"opprox/internal/ml/mic"
 	"opprox/internal/ml/poly"
@@ -82,20 +83,33 @@ type filteredModel struct {
 // predictRaw evaluates the model on the (possibly log) training scale,
 // routing through the sub-model split when present.
 func (fm *filteredModel) predictRaw(full []float64) float64 {
+	scratchp := arena.Floats(2 * len(full))
+	v := fm.predictRawScratch(full, *scratchp)
+	arena.PutFloats(scratchp)
+	return v
+}
+
+// predictRawScratch is predictRaw with caller-provided scratch of length
+// >= 2*len(full), covering the MIC remap buffer and the model's
+// standardization buffer. The prediction hot path carves one arena buffer
+// per configuration and threads it here, so evaluating a full model family
+// costs a single pool round-trip.
+func (fm *filteredModel) predictRawScratch(full, scratch []float64) float64 {
 	if fm.lo != nil && fm.hi != nil {
 		if full[fm.splitFeat] <= fm.splitVal {
-			return fm.lo.predictRaw(full)
+			return fm.lo.predictRawScratch(full, scratch)
 		}
-		return fm.hi.predictRaw(full)
+		return fm.hi.predictRawScratch(full, scratch)
 	}
 	x := full
 	if len(fm.keep) != len(full) {
-		x = make([]float64, len(fm.keep))
+		x = scratch[:len(fm.keep)]
+		scratch = scratch[len(fm.keep):]
 		for i, j := range fm.keep {
 			x[i] = full[j]
 		}
 	}
-	return fm.model.Predict(x)
+	return fm.model.PredictScratch(x, scratch)
 }
 
 // fromRaw maps a value on the model's training scale back to the natural
@@ -613,29 +627,44 @@ func (t *Trained) confFromResiduals(xs [][]float64, ys []float64, fm *filteredMo
 		residuals = fm.model.Residuals(sel, ys)
 	}
 	preds := make([]float64, len(sel))
-	for i, x := range sel {
-		preds[i] = fm.model.Predict(x)
-	}
+	fm.model.PredictInto(preds, sel)
 	return conf.BandedFromResiduals(preds, residuals, t.Opts.ConfidenceP, 4)
 }
 
 // rawFeatures builds the iteration model's feature vector.
 func (t *Trained) rawFeatures(paramVec []float64, cfg approx.Config) []float64 {
-	out := make([]float64, 0, len(paramVec)+len(cfg))
-	out = append(out, paramVec...)
+	return t.rawFeaturesInto(make([]float64, 0, len(paramVec)+len(cfg)), paramVec, cfg)
+}
+
+// rawFeaturesInto appends the iteration model's feature vector to dst
+// (normally dst[:0] of a reused buffer).
+func (t *Trained) rawFeaturesInto(dst, paramVec []float64, cfg approx.Config) []float64 {
+	dst = append(dst, paramVec...)
 	for _, l := range cfg {
-		out = append(out, float64(l))
+		dst = append(dst, float64(l))
 	}
-	return out
+	return dst
 }
 
 // predictConfig predicts (speedup, degradation) for one configuration in
 // this phase. The confidence band is applied on the models' log scale —
 // pessimistic edge in both cases (paper §3.6).
 func (pm *PhaseModel) predictConfig(t *Trained, paramVec []float64, cfg approx.Config, conservative bool) (speedup, deg float64) {
-	sf, df := pm.globalFeatures(t, paramVec, cfg)
-	sRaw := pm.globalSpeedup.predictRaw(sf)
-	dRaw := pm.globalDeg.predictRaw(df)
+	// Optimizer hot path: every scratch vector — both global feature rows,
+	// the per-block local-model input, and the iteration features — is
+	// carved from one arena buffer. Nothing below retains them.
+	np := len(paramVec)
+	w := len(t.Blocks) + 1
+	prsLen := 2 * max(w, np+1, np+len(cfg))
+	scratchp := arena.Floats(2*w + np + 1 + np + len(cfg) + prsLen)
+	defer arena.PutFloats(scratchp)
+	buf := *scratchp
+	prs := buf[len(buf)-prsLen:]
+	sf, df := pm.globalFeaturesInto(t, paramVec, cfg,
+		buf[0:0:w], buf[w:w:2*w],
+		buf[2*w:2*w:2*w+np+1], buf[2*w+np+1:2*w+np+1:len(buf)-prsLen], prs)
+	sRaw := pm.globalSpeedup.predictRawScratch(sf, prs)
+	dRaw := pm.globalDeg.predictRawScratch(df, prs)
 	if t.calib != nil && pm.Phase < len(t.calib.spd) {
 		// Canary calibration: per-phase log-scale bias correction.
 		sRaw += t.calib.spd[pm.Phase]
@@ -663,17 +692,35 @@ func clampF(v, lo, hi float64) float64 {
 // (optionally) the iteration estimate.
 func (pm *PhaseModel) globalFeatures(t *Trained, paramVec []float64, cfg approx.Config) (speedupF, degF []float64) {
 	nb := len(t.Blocks)
-	speedupF = make([]float64, 0, nb+1)
-	degF = make([]float64, 0, nb+1)
+	np := len(paramVec)
+	// Fresh slices: the training path retains the returned rows in its
+	// design matrices, so they must not come from the arena.
+	return pm.globalFeaturesInto(t, paramVec, cfg,
+		make([]float64, 0, nb+1), make([]float64, 0, nb+1),
+		make([]float64, 0, np+1), make([]float64, 0, np+len(cfg)),
+		make([]float64, 2*max(nb+1, np+1, np+len(cfg))))
+}
+
+// globalFeaturesInto is globalFeatures with caller-provided storage:
+// sfBuf/dfBuf receive the two feature rows, lxBuf holds the local models'
+// input, rawBuf the iteration model's (all appended from length 0), and
+// prs is the per-prediction scratch for predictRawScratch. The prediction
+// hot path passes arena buffers; values are identical to globalFeatures'.
+func (pm *PhaseModel) globalFeaturesInto(t *Trained, paramVec []float64, cfg approx.Config, sfBuf, dfBuf, lxBuf, rawBuf, prs []float64) (speedupF, degF []float64) {
+	nb := len(t.Blocks)
+	speedupF, degF = sfBuf, dfBuf
 	// Local predictions feed the global models on their log training
 	// scale: bounded, smooth features that compose additively.
+	lx := append(lxBuf, paramVec...)
+	lx = append(lx, 0)
 	for b := 0; b < nb; b++ {
-		lx := append(append([]float64{}, paramVec...), float64(cfg[b]))
-		speedupF = append(speedupF, pm.localSpeedup[b].predictRaw(lx))
-		degF = append(degF, pm.localDeg[b].predictRaw(lx))
+		lx[len(paramVec)] = float64(cfg[b])
+		speedupF = append(speedupF, pm.localSpeedup[b].predictRawScratch(lx, prs))
+		degF = append(degF, pm.localDeg[b].predictRawScratch(lx, prs))
 	}
 	if t.Opts.UseIterFeature {
-		iterEst := pm.iter.predict(t.rawFeatures(paramVec, cfg))
+		raw := t.rawFeaturesInto(rawBuf, paramVec, cfg)
+		iterEst := pm.iter.fromRaw(pm.iter.predictRawScratch(raw, prs))
 		speedupF = append(speedupF, iterEst)
 		degF = append(degF, iterEst)
 	}

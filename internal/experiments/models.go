@@ -39,7 +39,13 @@ func (s *Suite) evalModels(app string) (modelEval, error) {
 		me.skipped = err.Error()
 		return me, nil
 	}
-	var spdTruth, spdPred, degTruth, degPred []float64
+	// One flat backing array for all four series: the held-out size is
+	// known up front, so the scoring loop appends without reallocating.
+	flat := make([]float64, 4*len(test))
+	spdTruth := flat[0:0:len(test)]
+	spdPred := flat[len(test) : len(test) : 2*len(test)]
+	degTruth := flat[2*len(test) : 2*len(test) : 3*len(test)]
+	degPred := flat[3*len(test) : 3*len(test) : 4*len(test)]
 	for _, r := range test {
 		spd, deg, err := half.PredictPhase(r.Params, r.Phase, r.Levels, false)
 		if err != nil {

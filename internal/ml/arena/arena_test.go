@@ -1,0 +1,73 @@
+package arena
+
+import "testing"
+
+func TestBucketFor(t *testing.T) {
+	cases := []struct{ n, want int }{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}, {1024, 10},
+	}
+	for _, c := range cases {
+		if got := bucketFor(c.n); got != c.want {
+			t.Errorf("bucketFor(%d) = %d, want %d", c.n, got, c.want)
+		}
+	}
+}
+
+func TestFloatsRoundTrip(t *testing.T) {
+	p := Floats(10)
+	if len(*p) != 10 || cap(*p) != 16 {
+		t.Fatalf("len=%d cap=%d, want 10/16", len(*p), cap(*p))
+	}
+	for i := range *p {
+		(*p)[i] = float64(i)
+	}
+	PutFloats(p)
+	q := Floats(12)
+	if len(*q) != 12 {
+		t.Fatalf("len=%d, want 12", len(*q))
+	}
+	PutFloats(q)
+}
+
+func TestFloatsReuse(t *testing.T) {
+	// Steady-state Get/Put of a pooled size must not allocate.
+	p := Floats(64)
+	PutFloats(p)
+	allocs := testing.AllocsPerRun(200, func() {
+		s := Floats(64)
+		PutFloats(s)
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state Floats/PutFloats allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestOversizedBypassesPool(t *testing.T) {
+	huge := (1 << maxBucket) + 1
+	p := Floats(huge)
+	if len(*p) != huge {
+		t.Fatalf("len=%d, want %d", len(*p), huge)
+	}
+	PutFloats(p) // must not panic, must not pin
+}
+
+func TestIntsRoundTrip(t *testing.T) {
+	p := Ints(5)
+	if len(*p) != 5 {
+		t.Fatalf("len=%d, want 5", len(*p))
+	}
+	PutInts(p)
+}
+
+func TestRowsCleared(t *testing.T) {
+	p := Rows(4)
+	(*p)[0] = []float64{1, 2}
+	PutRows(p)
+	q := Rows(3)
+	for i, r := range *q {
+		if r != nil {
+			t.Fatalf("row %d not cleared after reuse", i)
+		}
+	}
+	PutRows(q)
+}

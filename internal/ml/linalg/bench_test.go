@@ -35,6 +35,30 @@ func BenchmarkLeastSquares200x30(b *testing.B) {
 	}
 }
 
+func BenchmarkFactorQRInto100x20(b *testing.B) {
+	a := benchMatrix(100, 20, 1)
+	var ws QRWorkspace
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := FactorQRInto(a, &ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLeastSquaresInto200x30(b *testing.B) {
+	a := benchMatrix(200, 30, 2)
+	rhs := benchMatrix(200, 1, 3).Col(0)
+	var ws QRWorkspace
+	dst := make([]float64, 30)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := LeastSquaresInto(dst, a, rhs, &ws); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkCholesky50(b *testing.B) {
 	g := benchMatrix(60, 50, 4)
 	a, _ := g.T().Mul(g)

@@ -76,6 +76,22 @@ func (m *Matrix) Col(j int) []float64 {
 	return out
 }
 
+// EnsureShape resizes m in place to rows×cols, reusing the backing slice
+// when its capacity allows. The contents are unspecified afterward —
+// callers are expected to overwrite every element (this is the reuse hook
+// for per-fit design matrices).
+func (m *Matrix) EnsureShape(rows, cols int) {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("linalg: negative dimensions %dx%d", rows, cols))
+	}
+	m.Rows, m.Cols = rows, cols
+	if cap(m.Data) < rows*cols {
+		m.Data = make([]float64, rows*cols)
+	} else {
+		m.Data = m.Data[:rows*cols]
+	}
+}
+
 // Clone returns a deep copy of m.
 func (m *Matrix) Clone() *Matrix {
 	out := NewMatrix(m.Rows, m.Cols)

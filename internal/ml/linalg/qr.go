@@ -2,63 +2,136 @@ package linalg
 
 import (
 	"fmt"
-	"math"
+	"sync"
 )
+
+// qrPanel is the panel width of the blocked factorization: reflectors are
+// formed a panel at a time, then applied together to the trailing columns
+// so each trailing column is streamed once per panel instead of once per
+// reflector.
+const qrPanel = 32
 
 // QR holds a Householder QR factorization of an m×n matrix with m >= n.
 // A = Q·R where Q is m×m orthogonal (stored implicitly as Householder
 // reflectors) and R is n×n upper triangular.
+//
+// The factors are stored column-major (column j is a contiguous slice), so
+// every inner loop of the factorization and of Solve runs over contiguous
+// memory. A QR produced by FactorQRInto aliases its workspace and is only
+// valid until the workspace is reused.
 type QR struct {
-	qr   *Matrix   // packed reflectors below the diagonal, R on and above
+	rows, cols int
+	a          []float64 // column-major: column j at a[j*rows:(j+1)*rows];
+	// packed reflectors below the diagonal, R strictly above
 	rdia []float64 // diagonal of R
 }
 
+// QRWorkspace holds the reusable buffers of FactorQRInto and SolveInto.
+// The zero value is ready to use; buffers grow on demand and are reused
+// across factorizations.
+type QRWorkspace struct {
+	f QR
+	y []float64 // Qᵀb scratch for SolveInto
+}
+
 // FactorQR computes the Householder QR factorization of a.
-// a is not modified.
+// a is not modified. The result owns its storage (fresh workspace).
 func FactorQR(a *Matrix) (*QR, error) {
+	return FactorQRInto(a, &QRWorkspace{})
+}
+
+// FactorQRInto is FactorQR with caller-owned workspace: the returned QR
+// aliases ws and stays valid only until ws is passed to FactorQRInto
+// again. With a reused workspace the factorization performs no
+// allocations.
+func FactorQRInto(a *Matrix, ws *QRWorkspace) (*QR, error) {
 	if a.Rows < a.Cols {
 		return nil, fmt.Errorf("linalg: QR requires rows >= cols, got %dx%d", a.Rows, a.Cols)
 	}
 	m, n := a.Rows, a.Cols
-	qr := a.Clone()
-	rdia := make([]float64, n)
-	for k := 0; k < n; k++ {
-		// Norm of the k-th column below (and including) the diagonal.
-		nrm := 0.0
-		for i := k; i < m; i++ {
-			nrm = math.Hypot(nrm, qr.Data[i*n+k])
-		}
-		if nrm == 0 {
-			rdia[k] = 0
-			continue
-		}
-		if qr.Data[k*n+k] < 0 {
-			nrm = -nrm
-		}
-		for i := k; i < m; i++ {
-			qr.Data[i*n+k] /= nrm
-		}
-		qr.Data[k*n+k]++
-		// Apply the reflector to the remaining columns.
-		for j := k + 1; j < n; j++ {
-			s := 0.0
-			for i := k; i < m; i++ {
-				s += qr.Data[i*n+k] * qr.Data[i*n+j]
-			}
-			s = -s / qr.Data[k*n+k]
-			for i := k; i < m; i++ {
-				qr.Data[i*n+j] += s * qr.Data[i*n+k]
-			}
-		}
-		rdia[k] = -nrm
+	f := &ws.f
+	f.rows, f.cols = m, n
+	if cap(f.a) < m*n {
+		f.a = make([]float64, m*n)
+	} else {
+		f.a = f.a[:m*n]
 	}
-	return &QR{qr: qr, rdia: rdia}, nil
+	if cap(f.rdia) < n {
+		f.rdia = make([]float64, n)
+	} else {
+		f.rdia = f.rdia[:n]
+	}
+	// Transpose the row-major input into contiguous columns.
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		for j, v := range row {
+			f.a[j*m+i] = v
+		}
+	}
+	for k0 := 0; k0 < n; k0 += qrPanel {
+		kEnd := k0 + qrPanel
+		if kEnd > n {
+			kEnd = n
+		}
+		// Factor the panel: each new reflector is applied immediately to
+		// the columns still inside the panel (they feed later reflectors).
+		for k := k0; k < kEnd; k++ {
+			ck := f.a[k*m : (k+1)*m]
+			nrm := Norm2(ck[k:])
+			if nrm == 0 {
+				f.rdia[k] = 0
+				continue
+			}
+			if ck[k] < 0 {
+				nrm = -nrm
+			}
+			for i := k; i < m; i++ {
+				ck[i] /= nrm
+			}
+			ck[k]++
+			for j := k + 1; j < kEnd; j++ {
+				applyReflector(ck[k:], f.a[j*m+k:(j+1)*m])
+			}
+			f.rdia[k] = -nrm
+		}
+		// Trailing update: sweep each column right of the panel once,
+		// applying the panel's reflectors in order. Per (reflector, column)
+		// pair the arithmetic is identical to the unblocked algorithm —
+		// only the loop nest is reordered — so the factors are
+		// bit-for-bit the same.
+		for j := kEnd; j < n; j++ {
+			cj := f.a[j*m : (j+1)*m]
+			for k := k0; k < kEnd; k++ {
+				if f.rdia[k] == 0 {
+					continue // zero column: no reflector was formed
+				}
+				applyReflector(f.a[k*m+k:(k+1)*m], cj[k:])
+			}
+		}
+	}
+	return f, nil
+}
+
+// applyReflector applies the Householder reflector packed in v (v[0] is
+// the shifted diagonal entry) to the column slice c: c += (-vᵀc / v[0])·v.
+// Both slices are contiguous, start at the reflector's pivot row, and have
+// equal length.
+func applyReflector(v, c []float64) {
+	c = c[:len(v)]
+	s := 0.0
+	for i, vi := range v {
+		s += vi * c[i]
+	}
+	s = -s / v[0]
+	for i, vi := range v {
+		c[i] += s * vi
+	}
 }
 
 // FullRank reports whether R has no (near-)zero diagonal entries.
 func (f *QR) FullRank() bool {
 	for _, d := range f.rdia {
-		if math.Abs(d) < 1e-12 {
+		if d < 1e-12 && d > -1e-12 {
 			return false
 		}
 	}
@@ -67,131 +140,76 @@ func (f *QR) FullRank() bool {
 
 // Solve returns the least-squares solution x minimizing ||A·x - b||₂.
 func (f *QR) Solve(b []float64) ([]float64, error) {
-	m, n := f.qr.Rows, f.qr.Cols
+	x := make([]float64, f.cols)
+	y := make([]float64, f.rows)
+	if err := f.SolveInto(x, b, y); err != nil {
+		return nil, err
+	}
+	return x, nil
+}
+
+// SolveInto solves min ||A·x - b||₂ into dst (length Cols) using y
+// (length Rows) as scratch, without allocating.
+func (f *QR) SolveInto(dst, b, y []float64) error {
+	m, n := f.rows, f.cols
 	if len(b) != m {
-		return nil, fmt.Errorf("linalg: QR solve rhs length %d, want %d", len(b), m)
+		return fmt.Errorf("linalg: QR solve rhs length %d, want %d", len(b), m)
+	}
+	if len(dst) != n {
+		return fmt.Errorf("linalg: QR solve dst length %d, want %d", len(dst), n)
+	}
+	if len(y) != m {
+		return fmt.Errorf("linalg: QR solve scratch length %d, want %d", len(y), m)
 	}
 	if !f.FullRank() {
-		return nil, ErrSingular
+		return ErrSingular
 	}
-	y := make([]float64, m)
 	copy(y, b)
-	// Apply Qᵀ to b.
+	// Apply Qᵀ to b: reflector columns are contiguous.
 	for k := 0; k < n; k++ {
-		if f.qr.Data[k*n+k] == 0 {
+		if f.a[k*m+k] == 0 {
 			continue
 		}
-		s := 0.0
-		for i := k; i < m; i++ {
-			s += f.qr.Data[i*n+k] * y[i]
-		}
-		s = -s / f.qr.Data[k*n+k]
-		for i := k; i < m; i++ {
-			y[i] += s * f.qr.Data[i*n+k]
-		}
+		applyReflector(f.a[k*m+k:(k+1)*m], y[k:])
 	}
-	// Back-substitute R·x = y[:n].
-	x := make([]float64, n)
+	// Back-substitute R·x = y[:n]. R's strict upper triangle lives above
+	// the diagonal of the packed columns: entry (k, j) is column j, row k.
 	for k := n - 1; k >= 0; k-- {
 		s := y[k]
 		for j := k + 1; j < n; j++ {
-			s -= f.qr.Data[k*n+j] * x[j]
+			s -= f.a[j*m+k] * dst[j]
 		}
-		x[k] = s / f.rdia[k]
+		dst[k] = s / f.rdia[k]
 	}
-	return x, nil
+	return nil
 }
 
-// LeastSquares solves min ||A·x - b||₂ via Householder QR.
+// qrWorkspaces recycles workspaces across LeastSquares calls, making the
+// whole solve O(1) allocations (just the returned vector).
+var qrWorkspaces = sync.Pool{New: func() any { return &QRWorkspace{} }}
+
+// LeastSquares solves min ||A·x - b||₂ via blocked Householder QR.
 func LeastSquares(a *Matrix, b []float64) ([]float64, error) {
-	f, err := FactorQR(a)
-	if err != nil {
+	ws := qrWorkspaces.Get().(*QRWorkspace)
+	defer qrWorkspaces.Put(ws)
+	x := make([]float64, a.Cols)
+	if err := LeastSquaresInto(x, a, b, ws); err != nil {
 		return nil, err
-	}
-	return f.Solve(b)
-}
-
-// Cholesky computes the lower-triangular L with A = L·Lᵀ for a symmetric
-// positive-definite matrix. Returns ErrSingular when A is not positive
-// definite.
-func Cholesky(a *Matrix) (*Matrix, error) {
-	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("linalg: Cholesky requires a square matrix, got %dx%d", a.Rows, a.Cols)
-	}
-	n := a.Rows
-	l := NewMatrix(n, n)
-	for i := 0; i < n; i++ {
-		for j := 0; j <= i; j++ {
-			s := a.Data[i*n+j]
-			for k := 0; k < j; k++ {
-				s -= l.Data[i*n+k] * l.Data[j*n+k]
-			}
-			if i == j {
-				if s <= 0 {
-					return nil, ErrSingular
-				}
-				l.Data[i*n+i] = math.Sqrt(s)
-			} else {
-				l.Data[i*n+j] = s / l.Data[j*n+j]
-			}
-		}
-	}
-	return l, nil
-}
-
-// SolveCholesky solves A·x = b given the Cholesky factor L of A.
-func SolveCholesky(l *Matrix, b []float64) ([]float64, error) {
-	n := l.Rows
-	if len(b) != n {
-		return nil, fmt.Errorf("linalg: Cholesky solve rhs length %d, want %d", len(b), n)
-	}
-	// Forward: L·y = b.
-	y := make([]float64, n)
-	for i := 0; i < n; i++ {
-		s := b[i]
-		for k := 0; k < i; k++ {
-			s -= l.Data[i*n+k] * y[k]
-		}
-		y[i] = s / l.Data[i*n+i]
-	}
-	// Backward: Lᵀ·x = y.
-	x := make([]float64, n)
-	for i := n - 1; i >= 0; i-- {
-		s := y[i]
-		for k := i + 1; k < n; k++ {
-			s -= l.Data[k*n+i] * x[k]
-		}
-		x[i] = s / l.Data[i*n+i]
 	}
 	return x, nil
 }
 
-// RidgeSolve solves the ridge-regularized normal equations
-// (AᵀA + λI)·x = Aᵀb. λ must be >= 0; with λ == 0 this is plain OLS via
-// the normal equations (used as a fallback when QR reports rank
-// deficiency, with a tiny λ supplied by the caller).
-func RidgeSolve(a *Matrix, b []float64, lambda float64) ([]float64, error) {
-	if len(b) != a.Rows {
-		return nil, fmt.Errorf("linalg: ridge rhs length %d, want %d", len(b), a.Rows)
-	}
-	if lambda < 0 {
-		return nil, fmt.Errorf("linalg: negative ridge lambda %g", lambda)
-	}
-	at := a.T()
-	ata, err := at.Mul(a)
+// LeastSquaresInto solves min ||A·x - b||₂ into dst using ws for every
+// intermediate buffer. With a warm workspace it performs no allocations.
+func LeastSquaresInto(dst []float64, a *Matrix, b []float64, ws *QRWorkspace) error {
+	f, err := FactorQRInto(a, ws)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	for i := 0; i < ata.Rows; i++ {
-		ata.Data[i*ata.Cols+i] += lambda
+	if cap(ws.y) < f.rows {
+		ws.y = make([]float64, f.rows)
+	} else {
+		ws.y = ws.y[:f.rows]
 	}
-	atb, err := at.MulVec(b)
-	if err != nil {
-		return nil, err
-	}
-	l, err := Cholesky(ata)
-	if err != nil {
-		return nil, err
-	}
-	return SolveCholesky(l, atb)
+	return f.SolveInto(dst, b, ws.y)
 }

@@ -1,0 +1,304 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refQR is the pre-blocking Householder factorization: row-major packed
+// storage, reflectors applied column-at-a-time, exactly the loop structure
+// this package shipped with — except the column norm, which (like the fast
+// path) is a single scaled sum-of-squares pass instead of a per-element
+// math.Hypot chain. It exists only as the bit-for-bit oracle for the
+// blocked, column-major, workspace-reusing implementation.
+type refQR struct {
+	qr   *Matrix
+	rdia []float64
+}
+
+func factorQRReference(a *Matrix) *refQR {
+	m, n := a.Rows, a.Cols
+	qr := a.Clone()
+	rdia := make([]float64, n)
+	col := make([]float64, m)
+	for k := 0; k < n; k++ {
+		for i := k; i < m; i++ {
+			col[i] = qr.Data[i*n+k]
+		}
+		nrm := Norm2(col[k:m])
+		if nrm == 0 {
+			rdia[k] = 0
+			continue
+		}
+		if qr.Data[k*n+k] < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < m; i++ {
+			qr.Data[i*n+k] /= nrm
+		}
+		qr.Data[k*n+k]++
+		for j := k + 1; j < n; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += qr.Data[i*n+k] * qr.Data[i*n+j]
+			}
+			s = -s / qr.Data[k*n+k]
+			for i := k; i < m; i++ {
+				qr.Data[i*n+j] += s * qr.Data[i*n+k]
+			}
+		}
+		rdia[k] = -nrm
+	}
+	return &refQR{qr: qr, rdia: rdia}
+}
+
+func (f *refQR) solve(b []float64) []float64 {
+	m, n := f.qr.Rows, f.qr.Cols
+	y := make([]float64, m)
+	copy(y, b)
+	for k := 0; k < n; k++ {
+		if f.qr.Data[k*n+k] == 0 {
+			continue
+		}
+		s := 0.0
+		for i := k; i < m; i++ {
+			s += f.qr.Data[i*n+k] * y[i]
+		}
+		s = -s / f.qr.Data[k*n+k]
+		for i := k; i < m; i++ {
+			y[i] += s * f.qr.Data[i*n+k]
+		}
+	}
+	x := make([]float64, n)
+	for k := n - 1; k >= 0; k-- {
+		s := y[k]
+		for j := k + 1; j < n; j++ {
+			s -= f.qr.Data[k*n+j] * x[j]
+		}
+		x[k] = s / f.rdia[k]
+	}
+	return x
+}
+
+// factorQRHypot is the seed implementation's norm: an O(m) math.Hypot
+// chain per column. Kept to document how far the scaled sum-of-squares
+// norm may drift from it (last-ulp rounding only).
+func factorQRHypot(a *Matrix) *refQR {
+	m, n := a.Rows, a.Cols
+	qr := a.Clone()
+	rdia := make([]float64, n)
+	for k := 0; k < n; k++ {
+		nrm := 0.0
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, qr.Data[i*n+k])
+		}
+		if nrm == 0 {
+			rdia[k] = 0
+			continue
+		}
+		if qr.Data[k*n+k] < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < m; i++ {
+			qr.Data[i*n+k] /= nrm
+		}
+		qr.Data[k*n+k]++
+		for j := k + 1; j < n; j++ {
+			s := 0.0
+			for i := k; i < m; i++ {
+				s += qr.Data[i*n+k] * qr.Data[i*n+j]
+			}
+			s = -s / qr.Data[k*n+k]
+			for i := k; i < m; i++ {
+				qr.Data[i*n+j] += s * qr.Data[i*n+k]
+			}
+		}
+		rdia[k] = -nrm
+	}
+	return &refQR{qr: qr, rdia: rdia}
+}
+
+// TestFactorQRBitwiseVsReference pins the blocked, column-major
+// factorization bit-for-bit against the naive reference on fixed seeds:
+// panel blocking and workspace reuse reorder loops, never arithmetic.
+func TestFactorQRBitwiseVsReference(t *testing.T) {
+	var ws QRWorkspace
+	for seed := int64(1); seed <= 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := 5 + rng.Intn(120)
+		n := 1 + rng.Intn(40)
+		if n > m {
+			m, n = n, m
+		}
+		a := randomMatrix(rng, m, n)
+		if seed%4 == 0 {
+			// Exercise the zero-column path.
+			zc := rng.Intn(n)
+			for i := 0; i < m; i++ {
+				a.Data[i*n+zc] = 0
+			}
+		}
+		ref := factorQRReference(a)
+		got, err := FactorQRInto(a, &ws) // reused workspace across seeds
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < n; k++ {
+			if got.rdia[k] != ref.rdia[k] {
+				t.Fatalf("seed %d: rdia[%d] = %x, ref %x", seed, k, got.rdia[k], ref.rdia[k])
+			}
+		}
+		for j := 0; j < n; j++ {
+			for i := 0; i < m; i++ {
+				g, r := got.a[j*m+i], ref.qr.Data[i*n+j]
+				if g != r && !(math.IsNaN(g) && math.IsNaN(r)) {
+					t.Fatalf("seed %d: packed(%d,%d) = %x, ref %x", seed, i, j, g, r)
+				}
+			}
+		}
+		if !got.FullRank() {
+			continue
+		}
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		want := ref.solve(b)
+		x, err := got.Solve(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range x {
+			if x[i] != want[i] {
+				t.Fatalf("seed %d: solve[%d] = %x, ref %x", seed, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+// TestColumnNormVsHypot bounds the deliberate numerical change of this
+// layer: replacing the per-element Hypot chain with one scaled
+// sum-of-squares pass moves solutions by last-ulp rounding only.
+func TestColumnNormVsHypot(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		m := 20 + rng.Intn(100)
+		n := 2 + rng.Intn(20)
+		a := randomMatrix(rng, m, n)
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		old := factorQRHypot(a)
+		x, err := LeastSquares(a, b)
+		if err == ErrSingular {
+			continue
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := old.solve(b)
+		for i := range x {
+			if !almostEqual(x[i], want[i], 1e-9*(1+math.Abs(want[i]))) {
+				t.Fatalf("seed %d: x[%d] = %g, hypot-norm %g", seed, i, x[i], want[i])
+			}
+		}
+	}
+}
+
+// TestNorm2ExtremeScales guards the overflow/underflow behavior the scaled
+// pass exists for: a hypot chain survives these inputs and so must we.
+func TestNorm2ExtremeScales(t *testing.T) {
+	huge := []float64{1e200, 1e200, 1e200}
+	if got, want := Norm2(huge), 1e200*math.Sqrt(3); !almostEqual(got, want, 1e185) {
+		t.Fatalf("huge norm = %g, want %g", got, want)
+	}
+	if math.IsInf(Norm2(huge), 0) {
+		t.Fatal("norm overflowed")
+	}
+	tiny := []float64{1e-200, 1e-200}
+	if got, want := Norm2(tiny), 1e-200*math.Sqrt2; !almostEqual(got, want, 1e-210) {
+		t.Fatalf("tiny norm = %g, want %g", got, want)
+	}
+	if Norm2(tiny) == 0 {
+		t.Fatal("norm underflowed to zero")
+	}
+}
+
+// TestFactorQRExtremeColumnScales runs the full factorization on columns
+// that would overflow a naive sum of squares.
+func TestFactorQRExtremeColumnScales(t *testing.T) {
+	a, _ := FromRows([][]float64{
+		{1e200, 1},
+		{1e200, 2},
+		{1e200, 3},
+	})
+	f, err := FactorQR(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(f.rdia[0], 0) || math.IsNaN(f.rdia[0]) {
+		t.Fatalf("rdia[0] = %g", f.rdia[0])
+	}
+	want := -1e200 * math.Sqrt(3)
+	if !almostEqual(f.rdia[0], want, 1e186) {
+		t.Fatalf("rdia[0] = %g, want %g", f.rdia[0], want)
+	}
+}
+
+// TestLeastSquaresIntoNoAllocs asserts the warm-workspace promise: a full
+// factor+solve with reused workspace and destination performs zero
+// allocations.
+func TestLeastSquaresIntoNoAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	a := randomMatrix(rng, 80, 12)
+	b := make([]float64, 80)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	var ws QRWorkspace
+	dst := make([]float64, 12)
+	if err := LeastSquaresInto(dst, a, b, &ws); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := LeastSquaresInto(dst, a, b, &ws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("warm LeastSquaresInto allocates %.1f/op, want 0", allocs)
+	}
+}
+
+// TestFactorQRIntoReuseIsStable re-running a factorization through the
+// same workspace must yield identical factors every time.
+func TestFactorQRIntoReuseIsStable(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomMatrix(rng, 10+rng.Intn(40), 1+rng.Intn(8))
+		first, err := FactorQR(a)
+		if err != nil {
+			return false
+		}
+		snap := append([]float64(nil), first.a...)
+		var ws QRWorkspace
+		for rep := 0; rep < 3; rep++ {
+			g, err := FactorQRInto(a, &ws)
+			if err != nil {
+				return false
+			}
+			for i := range snap {
+				if g.a[i] != snap[i] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

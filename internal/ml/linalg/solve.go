@@ -1,0 +1,110 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+
+	"opprox/internal/ml/arena"
+)
+
+// Cholesky computes the lower-triangular L with A = L·Lᵀ for a symmetric
+// positive-definite matrix. Returns ErrSingular when A is not positive
+// definite.
+func Cholesky(a *Matrix) (*Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: Cholesky requires a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.Data[i*n+j]
+			for k := 0; k < j; k++ {
+				s -= l.Data[i*n+k] * l.Data[j*n+k]
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, ErrSingular
+				}
+				l.Data[i*n+i] = math.Sqrt(s)
+			} else {
+				l.Data[i*n+j] = s / l.Data[j*n+j]
+			}
+		}
+	}
+	return l, nil
+}
+
+// SolveCholesky solves A·x = b given the Cholesky factor L of A.
+func SolveCholesky(l *Matrix, b []float64) ([]float64, error) {
+	n := l.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("linalg: Cholesky solve rhs length %d, want %d", len(b), n)
+	}
+	// Forward: L·y = b.
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		s := b[i]
+		for k := 0; k < i; k++ {
+			s -= l.Data[i*n+k] * y[k]
+		}
+		y[i] = s / l.Data[i*n+i]
+	}
+	// Backward: Lᵀ·x = y.
+	x := make([]float64, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for k := i + 1; k < n; k++ {
+			s -= l.Data[k*n+i] * x[k]
+		}
+		x[i] = s / l.Data[i*n+i]
+	}
+	return x, nil
+}
+
+// RidgeSolve solves the ridge-regularized normal equations
+// (AᵀA + λI)·x = Aᵀb. λ must be >= 0; with λ == 0 this is plain OLS via
+// the normal equations (used as a fallback when QR reports rank
+// deficiency, with a tiny λ supplied by the caller).
+//
+// AᵀA and Aᵀb are assembled from a pooled column-major copy of A, so each
+// Gram entry is a dot product of two contiguous columns — the same sums in
+// the same order as the old transpose-then-multiply path, without
+// materializing Aᵀ.
+func RidgeSolve(a *Matrix, b []float64, lambda float64) ([]float64, error) {
+	if len(b) != a.Rows {
+		return nil, fmt.Errorf("linalg: ridge rhs length %d, want %d", len(b), a.Rows)
+	}
+	if lambda < 0 {
+		return nil, fmt.Errorf("linalg: negative ridge lambda %g", lambda)
+	}
+	m, n := a.Rows, a.Cols
+	colsBuf := arena.Floats(m * n)
+	defer arena.PutFloats(colsBuf)
+	cols := *colsBuf
+	for i := 0; i < m; i++ {
+		row := a.Data[i*n : (i+1)*n]
+		for j, v := range row {
+			cols[j*m+i] = v
+		}
+	}
+	ata := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		ci := cols[i*m : (i+1)*m]
+		for j := i; j < n; j++ {
+			s := Dot(ci, cols[j*m:(j+1)*m])
+			ata.Data[i*n+j] = s
+			ata.Data[j*n+i] = s
+		}
+		ata.Data[i*n+i] += lambda
+	}
+	atb := make([]float64, n)
+	for j := 0; j < n; j++ {
+		atb[j] = Dot(cols[j*m:(j+1)*m], b)
+	}
+	l, err := Cholesky(ata)
+	if err != nil {
+		return nil, err
+	}
+	return SolveCholesky(l, atb)
+}

@@ -16,12 +16,20 @@ import (
 	"errors"
 	"math"
 	"sort"
+
+	"opprox/internal/ml/arena"
 )
 
 // ErrTooFewSamples reports that MIC needs more data points.
 var ErrTooFewSamples = errors.New("mic: need at least 4 samples")
 
 // Score returns the approximate MIC of paired samples (xs, ys), in [0, 1].
+//
+// Each vector is sorted exactly once; the equal-frequency bin assignment
+// for every grid size is derived from that one rank permutation, and the
+// per-shape count tables come from a shared arena. The grid search visits
+// shapes in the same order and with the same arithmetic as the original
+// sort-per-shape implementation, so scores are bit-for-bit unchanged.
 func Score(xs, ys []float64) (float64, error) {
 	if len(xs) != len(ys) {
 		return 0, errors.New("mic: length mismatch")
@@ -39,16 +47,44 @@ func Score(xs, ys []float64) (float64, error) {
 	if b < 4 {
 		b = 4
 	}
+	maxK := b / 2 // largest bin count either axis can use (the other needs >= 2)
+
+	orderp := arena.Ints(n)
+	defer arena.PutInts(orderp)
+	order := (*orderp)[:n]
+
+	// One sort of ys serves every ky: precompute the assignment row per size.
+	yap := arena.Ints((maxK - 1) * n)
+	defer arena.PutInts(yap)
+	yaAll := (*yap)[:(maxK-1)*n]
+	sortedOrder(order, ys)
+	for ky := 2; ky <= maxK; ky++ {
+		assignFromOrder(yaAll[(ky-2)*n:(ky-1)*n], order, ys, ky)
+	}
+
+	xap := arena.Ints(n)
+	defer arena.PutInts(xap)
+	xa := (*xap)[:n]
+	sortedOrder(order, xs)
+
+	// Count tables, reused across every grid shape: kx*ky <= b cells.
+	jointp := arena.Ints(b)
+	defer arena.PutInts(jointp)
+	pxp := arena.Ints(maxK)
+	defer arena.PutInts(pxp)
+	pyp := arena.Ints(maxK)
+	defer arena.PutInts(pyp)
+
 	best := 0.0
-	for kx := 2; kx <= b/2; kx++ {
+	for kx := 2; kx <= maxK; kx++ {
 		maxKy := b / kx
 		if maxKy < 2 {
 			break
 		}
-		xa := equiFreqAssign(xs, kx)
+		assignFromOrder(xa, order, xs, kx)
 		for ky := 2; ky <= maxKy; ky++ {
-			ya := equiFreqAssign(ys, ky)
-			mi := mutualInformation(xa, ya, kx, ky)
+			ya := yaAll[(ky-2)*n : (ky-1)*n]
+			mi := mutualInformationInto(xa, ya, kx, ky, (*jointp)[:kx*ky], (*pxp)[:kx], (*pyp)[:ky])
 			norm := math.Log2(float64(min(kx, ky)))
 			if norm <= 0 {
 				continue
@@ -73,37 +109,57 @@ func isConstant(v []float64) bool {
 	return true
 }
 
-// equiFreqAssign assigns each sample to one of k equal-frequency bins.
-// Ties share the bin of their sorted position's bucket, computed over a
-// rank transform so duplicated values land in adjacent bins.
-func equiFreqAssign(v []float64, k int) []int {
-	n := len(v)
-	order := make([]int, n)
+// sortedOrder fills order with the sample indices of v in ascending value
+// order — the single rank permutation every bin count shares.
+func sortedOrder(order []int, v []float64) {
 	for i := range order {
 		order[i] = i
 	}
 	sort.Slice(order, func(a, b int) bool { return v[order[a]] < v[order[b]] })
-	bins := make([]int, n)
+}
+
+// assignFromOrder writes the k-bin equal-frequency assignment of v into
+// bins, using a precomputed sort order. Ties share the bin of their sorted
+// position's bucket, computed over a rank transform so duplicated values
+// land in adjacent bins; runs of equal values then collapse to the bin of
+// their first occurrence (otherwise ties would leak rank information).
+func assignFromOrder(bins, order []int, v []float64, k int) {
+	n := len(v)
 	for rank, idx := range order {
 		bins[idx] = rank * k / n
 	}
-	// Equal values must map to the same bin (otherwise ties leak rank
-	// information): collapse runs of equal values to the bin of their first
-	// occurrence.
 	for i := 1; i < n; i++ {
 		a, b := order[i-1], order[i]
 		if v[a] == v[b] {
 			bins[b] = bins[a]
 		}
 	}
+}
+
+// equiFreqAssign assigns each sample to one of k equal-frequency bins.
+func equiFreqAssign(v []float64, k int) []int {
+	n := len(v)
+	order := make([]int, n)
+	sortedOrder(order, v)
+	bins := make([]int, n)
+	assignFromOrder(bins, order, v, k)
 	return bins
 }
 
-func mutualInformation(xa, ya []int, kx, ky int) float64 {
+// mutualInformationInto computes I(xa; ya) over a kx×ky grid using
+// caller-provided count tables (joint must hold kx*ky cells, px kx and
+// py ky); the tables are cleared here.
+func mutualInformationInto(xa, ya []int, kx, ky int, joint, px, py []int) float64 {
 	n := len(xa)
-	joint := make([]int, kx*ky)
-	px := make([]int, kx)
-	py := make([]int, ky)
+	for i := range joint {
+		joint[i] = 0
+	}
+	for i := range px {
+		px[i] = 0
+	}
+	for i := range py {
+		py[i] = 0
+	}
 	for i := 0; i < n; i++ {
 		joint[xa[i]*ky+ya[i]]++
 		px[xa[i]]++
@@ -127,6 +183,10 @@ func mutualInformation(xa, ya []int, kx, ky int) float64 {
 	return mi
 }
 
+func mutualInformation(xa, ya []int, kx, ky int) float64 {
+	return mutualInformationInto(xa, ya, kx, ky, make([]int, kx*ky), make([]int, kx), make([]int, ky))
+}
+
 // FilterFeatures returns the indices of columns of xs whose MIC with ys is
 // at least threshold. Column-constant features are always dropped.
 // When every feature is filtered out, the single highest-scoring feature is
@@ -136,7 +196,9 @@ func FilterFeatures(xs [][]float64, ys []float64, threshold float64) ([]int, []f
 		return nil, nil, errors.New("mic: no samples")
 	}
 	nf := len(xs[0])
-	col := make([]float64, len(xs))
+	colp := arena.Floats(len(xs))
+	defer arena.PutFloats(colp)
+	col := (*colp)[:len(xs)]
 	var keep []int
 	scores := make([]float64, nf)
 	bestIdx, bestScore := -1, -1.0

@@ -1,0 +1,177 @@
+package mic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// scoreNaive is the pre-optimization Score: a fresh sort for every grid
+// shape and freshly allocated count tables for every mutual-information
+// evaluation. It is the bit-for-bit oracle for the hoisted-sort, pooled
+// implementation.
+func scoreNaive(xs, ys []float64) (float64, error) {
+	if len(xs) != len(ys) {
+		panic("mic: length mismatch")
+	}
+	n := len(xs)
+	if n < 4 {
+		return 0, ErrTooFewSamples
+	}
+	if isConstant(xs) || isConstant(ys) {
+		return 0, nil
+	}
+	b := int(math.Pow(float64(n), 0.6))
+	if b < 4 {
+		b = 4
+	}
+	best := 0.0
+	for kx := 2; kx <= b/2; kx++ {
+		maxKy := b / kx
+		if maxKy < 2 {
+			break
+		}
+		xa := equiFreqAssign(xs, kx)
+		for ky := 2; ky <= maxKy; ky++ {
+			ya := equiFreqAssign(ys, ky)
+			mi := mutualInformation(xa, ya, kx, ky)
+			norm := math.Log2(float64(min(kx, ky)))
+			if norm <= 0 {
+				continue
+			}
+			if v := mi / norm; v > best {
+				best = v
+			}
+		}
+	}
+	if best > 1 {
+		best = 1
+	}
+	return best, nil
+}
+
+func randomPairs(rng *rand.Rand, n int) ([]float64, []float64) {
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+		switch rng.Intn(3) {
+		case 0:
+			ys[i] = xs[i]*xs[i] + rng.NormFloat64()*0.3
+		case 1:
+			ys[i] = rng.NormFloat64()
+		default:
+			ys[i] = float64(rng.Intn(4)) // duplicates exercise tie collapsing
+		}
+	}
+	return xs, ys
+}
+
+// TestScoreMatchesNaiveBitwise: hoisting the sort out of the grid-shape
+// loops and pooling the count tables must not change a single bit of any
+// score.
+func TestScoreMatchesNaiveBitwise(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(400)
+		xs, ys := randomPairs(rng, n)
+		want, err := scoreNaive(xs, ys)
+		if err != nil {
+			return false
+		}
+		got, err := Score(xs, ys)
+		if err != nil {
+			return false
+		}
+		if got != want {
+			t.Logf("seed %d n %d: Score %x, naive %x", seed, n, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFilterFeaturesMatchesNaive: the kept-feature sets (and the exact
+// scores behind them) are unchanged by the kernel rewrite.
+func TestFilterFeaturesMatchesNaive(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n, nf := 60+rng.Intn(120), 2+rng.Intn(4)
+		xs := make([][]float64, n)
+		ys := make([]float64, n)
+		for i := range xs {
+			row := make([]float64, nf)
+			for j := range row {
+				row[j] = rng.NormFloat64()
+			}
+			row[0] = 3.5 // a constant column must always be dropped
+			xs[i] = row
+			ys[i] = rng.NormFloat64()
+			if nf > 1 {
+				ys[i] = xs[i][1] + rng.NormFloat64()*0.1
+			}
+		}
+		for _, threshold := range []float64{0.2, 0.5, 0.99} {
+			keep, scores, err := FilterFeatures(xs, ys, threshold)
+			if err != nil {
+				t.Fatal(err)
+			}
+			col := make([]float64, n)
+			var wantKeep []int
+			bestIdx, bestScore := -1, -1.0
+			for j := 0; j < nf; j++ {
+				for i, row := range xs {
+					col[i] = row[j]
+				}
+				s, err := scoreNaive(col, ys)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if s != scores[j] {
+					t.Fatalf("seed %d feature %d: score %x, naive %x", seed, j, scores[j], s)
+				}
+				if s > bestScore {
+					bestScore, bestIdx = s, j
+				}
+				if s >= threshold {
+					wantKeep = append(wantKeep, j)
+				}
+			}
+			if len(wantKeep) == 0 && bestIdx >= 0 {
+				wantKeep = append(wantKeep, bestIdx)
+			}
+			if len(keep) != len(wantKeep) {
+				t.Fatalf("seed %d thr %v: keep %v, want %v", seed, threshold, keep, wantKeep)
+			}
+			for i := range keep {
+				if keep[i] != wantKeep[i] {
+					t.Fatalf("seed %d thr %v: keep %v, want %v", seed, threshold, keep, wantKeep)
+				}
+			}
+		}
+	}
+}
+
+// TestScoreZeroSteadyStateAllocs: after warm-up, repeated scoring of the
+// same-size inputs draws every buffer from the arena.
+func TestScoreSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	xs, ys := randomPairs(rng, 300)
+	if _, err := Score(xs, ys); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, err := Score(xs, ys); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// sort.Slice's closure and the pool round-trips cost a handful of
+	// allocations; the point is that the O(grid-shapes) tables are gone.
+	if allocs > 12 {
+		t.Fatalf("Score allocates %.1f/op steady-state, want <= 12", allocs)
+	}
+}

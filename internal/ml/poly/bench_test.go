@@ -3,6 +3,8 @@ package poly
 import (
 	"math/rand"
 	"testing"
+
+	"opprox/internal/ml/linalg"
 )
 
 func benchData(n, nf int, seed int64) ([][]float64, []float64) {
@@ -51,6 +53,47 @@ func BenchmarkPredict(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = m.Predict(probe)
+	}
+}
+
+func BenchmarkPredictAll(b *testing.B) {
+	xs, ys := benchData(300, 5, 3)
+	m, err := Fit(xs, ys, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dst := make([]float64, len(xs))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.PredictInto(dst, xs)
+	}
+}
+
+func BenchmarkTransformAll(b *testing.B) {
+	xs, _ := benchData(300, 5, 6)
+	e, err := NewExpansion(5, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var dst linalg.Matrix
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.TransformAll(&dst, xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCrossValidateParallel(b *testing.B) {
+	xs, ys := benchData(400, 4, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(8))
+		if _, err := CrossValidateParallel(xs, ys, 2, 5, rng, 0); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

@@ -1,0 +1,74 @@
+package poly
+
+// A compiled expansion turns the Term slice into a flat (index, exponent)
+// program evaluated with no per-term interface or map traffic: one
+// contiguous op stream shared by every row of a fit and every Predict.
+// Evaluation performs exactly the arithmetic of Term.Eval — the same
+// repeated multiplications in the same order — so the compiled path is
+// bit-for-bit identical to the interpretive one (the equivalence property
+// tests pin this).
+
+type progOp struct {
+	idx int32 // input feature index
+	pow int32 // exponent (> 0; zero-power factors compile away)
+}
+
+type program struct {
+	ops    []progOp
+	starts []int32 // term i uses ops[starts[i]:starts[i+1]]
+}
+
+func compileTerms(terms []Term) program {
+	p := program{starts: make([]int32, len(terms)+1)}
+	nops := 0
+	for _, t := range terms {
+		for _, pow := range t.Powers {
+			if pow > 0 {
+				nops++
+			}
+		}
+	}
+	p.ops = make([]progOp, 0, nops)
+	for i, t := range terms {
+		for idx, pow := range t.Powers {
+			if pow > 0 {
+				p.ops = append(p.ops, progOp{idx: int32(idx), pow: int32(pow)})
+			}
+		}
+		p.starts[i+1] = int32(len(p.ops))
+	}
+	return p
+}
+
+// termVal evaluates ops (one term's slice of the program) at x, exactly
+// like Term.Eval: factors in feature-index order, each expanded as
+// repeated multiplication.
+func termVal(ops []progOp, x []float64) float64 {
+	v := 1.0
+	for _, op := range ops {
+		xi := x[op.idx]
+		for k := int32(0); k < op.pow; k++ {
+			v *= xi
+		}
+	}
+	return v
+}
+
+// evalInto writes term_i(x) into dst[i] for every term.
+func (p *program) evalInto(dst, x []float64) {
+	starts := p.starts
+	for i := 0; i < len(starts)-1; i++ {
+		dst[i] = termVal(p.ops[starts[i]:starts[i+1]], x)
+	}
+}
+
+// dot returns Σ coeffs[i]·term_i(x), accumulating in term order — the
+// same sum Model.Predict has always computed.
+func (p *program) dot(coeffs, x []float64) float64 {
+	starts := p.starts
+	s := 0.0
+	for i := 0; i < len(starts)-1; i++ {
+		s += coeffs[i] * termVal(p.ops[starts[i]:starts[i+1]], x)
+	}
+	return s
+}

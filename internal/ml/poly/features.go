@@ -9,6 +9,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+
+	"opprox/internal/ml/linalg"
 )
 
 // Term is one monomial in the expansion: Powers[i] is the exponent of input
@@ -61,6 +64,20 @@ type Expansion struct {
 	NFeatures int
 	MaxDegree int
 	Terms     []Term
+
+	// compiled is the flat index/exponent program the fast paths evaluate.
+	// It is built lazily (and exactly once) so expansions reconstructed
+	// from persisted JSON — which never sees unexported fields — compile
+	// themselves on first use.
+	compileOnce sync.Once
+	compiled    program
+}
+
+// prog returns the compiled form of the expansion, building it on first
+// use. Safe for concurrent callers.
+func (e *Expansion) prog() *program {
+	e.compileOnce.Do(func() { e.compiled = compileTerms(e.Terms) })
+	return &e.compiled
 }
 
 // NewExpansion builds the monomial basis for nFeatures inputs up to the
@@ -134,4 +151,21 @@ func (e *Expansion) Transform(x []float64) ([]float64, error) {
 		out[i] = t.Eval(x)
 	}
 	return out, nil
+}
+
+// TransformAll maps every row of xs into the monomial basis, writing the
+// flat row-major feature matrix into dst (reshaped in place, reusing its
+// backing storage when possible). Rows are evaluated through the compiled
+// program; the values are bit-for-bit those of Transform.
+func (e *Expansion) TransformAll(dst *linalg.Matrix, xs [][]float64) error {
+	p := e.prog()
+	nt := len(e.Terms)
+	dst.EnsureShape(len(xs), nt)
+	for i, x := range xs {
+		if len(x) != e.NFeatures {
+			return fmt.Errorf("poly: input %d has %d features, expansion expects %d", i, len(x), e.NFeatures)
+		}
+		p.evalInto(dst.Data[i*nt:(i+1)*nt], x)
+	}
+	return nil
 }

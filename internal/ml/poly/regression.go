@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
+	"opprox/internal/ml/arena"
 	"opprox/internal/ml/linalg"
 )
 
@@ -34,36 +37,53 @@ func Fit(xs [][]float64, ys []float64, degree int) (*Model, error) {
 
 // DistinctCaps returns, per feature column, the exponent cap
 // (#distinct values - 1), with -1 (unlimited) for columns that look
-// continuous (more than maxDiscrete distinct values).
+// continuous (more than maxDiscrete distinct values). The distinct scan is
+// a linear probe over a small stack of seen values — the set is bounded by
+// maxDiscrete+1 entries, where a map would cost an allocation per column
+// per fit (and cross-validation refits per fold).
 func DistinctCaps(xs [][]float64, maxDiscrete int) []int {
 	if len(xs) == 0 {
 		return nil
 	}
 	nf := len(xs[0])
 	caps := make([]int, nf)
+	seenBuf := arena.Floats(maxDiscrete + 1)
+	defer arena.PutFloats(seenBuf)
 	for j := 0; j < nf; j++ {
-		seen := map[float64]bool{}
+		seen := (*seenBuf)[:0]
 		for _, x := range xs {
 			if j >= len(x) {
 				continue // ragged row: Fit reports the error later
 			}
-			seen[x[j]] = true
+			v := x[j]
+			dup := false
+			for _, s := range seen {
+				if s == v {
+					dup = true
+					break
+				}
+			}
+			if dup {
+				continue
+			}
+			seen = append(seen, v)
 			if len(seen) > maxDiscrete {
 				break
 			}
 		}
-		if len(seen) == 0 {
+		switch {
+		case len(seen) == 0, len(seen) > maxDiscrete:
 			caps[j] = -1
-			continue
-		}
-		if len(seen) > maxDiscrete {
-			caps[j] = -1
-		} else {
+		default:
 			caps[j] = len(seen) - 1
 		}
 	}
 	return caps
 }
+
+// designPool recycles design matrices across fits: cross-validation alone
+// builds k of them per degree probed.
+var designPool = sync.Pool{New: func() any { return new(linalg.Matrix) }}
 
 // FitRidge is Fit with an explicit ridge penalty lambda (0 = OLS first,
 // ridge fallback).
@@ -79,23 +99,25 @@ func FitRidge(xs [][]float64, ys []float64, degree int, lambda float64) (*Model,
 	if err != nil {
 		return nil, err
 	}
-	if len(xs) < exp.NumTerms() {
+	nt := exp.NumTerms()
+	if len(xs) < nt {
 		return nil, fmt.Errorf("%w: %d samples for %d terms (degree %d, %d features)",
-			ErrTooFewSamples, len(xs), exp.NumTerms(), degree, nf)
+			ErrTooFewSamples, len(xs), nt, degree, nf)
 	}
 	mean, scale := standardization(xs)
-	design := linalg.NewMatrix(len(xs), exp.NumTerms())
-	buf := make([]float64, nf)
+	design := designPool.Get().(*linalg.Matrix)
+	defer designPool.Put(design)
+	design.EnsureShape(len(xs), nt)
+	prog := exp.prog()
+	bufp := arena.Floats(nf)
+	defer arena.PutFloats(bufp)
+	buf := *bufp
 	for i, x := range xs {
 		if len(x) != nf {
 			return nil, fmt.Errorf("poly: sample %d has %d features, want %d", i, len(x), nf)
 		}
 		standardize(buf, x, mean, scale)
-		row, err := exp.Transform(buf)
-		if err != nil {
-			return nil, err
-		}
-		copy(design.Data[i*design.Cols:(i+1)*design.Cols], row)
+		prog.evalInto(design.Data[i*nt:(i+1)*nt], buf)
 	}
 	var coeffs []float64
 	if lambda > 0 {
@@ -110,40 +132,86 @@ func FitRidge(xs [][]float64, ys []float64, degree int, lambda float64) (*Model,
 		return nil, err
 	}
 	m := &Model{Expansion: exp, Coeffs: coeffs, Mean: mean, Scale: scale}
-	pred := make([]float64, len(xs))
-	for i, x := range xs {
-		pred[i] = m.Predict(x)
+	// Training predictions fall out of the design matrix already in hand:
+	// row i holds every term at sample i, so the prediction is the same
+	// coefficient-weighted sum Predict would compute from scratch.
+	predp := arena.Floats(len(xs))
+	pred := *predp
+	for i := range xs {
+		row := design.Data[i*nt : (i+1)*nt]
+		s := 0.0
+		for t, c := range coeffs {
+			s += c * row[t]
+		}
+		pred[i] = s
 	}
 	m.TrainR2 = R2(ys, pred)
+	arena.PutFloats(predp)
 	return m, nil
 }
 
-// Predict evaluates the model at x.
+// Predict evaluates the model at x. The standardization buffer comes from
+// the shared arena, so steady-state Predict performs zero allocations.
 func (m *Model) Predict(x []float64) float64 {
-	buf := make([]float64, len(x))
-	standardize(buf, x, m.Mean, m.Scale)
-	s := 0.0
-	for i, t := range m.Expansion.Terms {
-		s += m.Coeffs[i] * t.Eval(buf)
-	}
+	bufp := arena.Floats(len(x))
+	s := m.PredictScratch(x, *bufp)
+	arena.PutFloats(bufp)
 	return s
+}
+
+// PredictScratch is Predict with a caller-provided standardization buffer
+// (len(buf) >= len(x)): no allocations and no pool traffic at all. Tight
+// prediction loops that already hold a scratch buffer use this to avoid
+// nested arena round-trips.
+func (m *Model) PredictScratch(x, buf []float64) float64 {
+	buf = buf[:len(x)]
+	standardize(buf, x, m.Mean, m.Scale)
+	return m.Expansion.prog().dot(m.Coeffs, buf)
+}
+
+// PredictInto evaluates the model at every row of xs into dst, which must
+// have length len(xs). One pooled standardization buffer is shared across
+// the whole batch.
+func (m *Model) PredictInto(dst []float64, xs [][]float64) {
+	if len(dst) != len(xs) {
+		panic(fmt.Sprintf("poly: PredictInto dst length %d for %d rows", len(dst), len(xs)))
+	}
+	prog := m.Expansion.prog()
+	bufp := arena.Floats(m.Expansion.NFeatures)
+	buf := *bufp
+	for i, x := range xs {
+		if len(x) > cap(buf) {
+			arena.PutFloats(bufp)
+			bufp = arena.Floats(len(x))
+			buf = *bufp
+		}
+		b := buf[:len(x)]
+		standardize(b, x, m.Mean, m.Scale)
+		dst[i] = prog.dot(m.Coeffs, b)
+	}
+	arena.PutFloats(bufp)
 }
 
 // PredictAll evaluates the model at every row of xs.
 func (m *Model) PredictAll(xs [][]float64) []float64 {
 	out := make([]float64, len(xs))
-	for i, x := range xs {
-		out[i] = m.Predict(x)
-	}
+	m.PredictInto(out, xs)
 	return out
+}
+
+// ResidualsInto writes y - prediction for every pair into dst, which must
+// have length len(xs), reusing one pooled scratch buffer.
+func (m *Model) ResidualsInto(dst []float64, xs [][]float64, ys []float64) {
+	m.PredictInto(dst, xs)
+	for i, y := range ys {
+		dst[i] = y - dst[i]
+	}
 }
 
 // Residuals returns y - prediction for every training pair supplied.
 func (m *Model) Residuals(xs [][]float64, ys []float64) []float64 {
 	res := make([]float64, len(xs))
-	for i, x := range xs {
-		res[i] = ys[i] - m.Predict(x)
-	}
+	m.ResidualsInto(res, xs, ys)
 	return res
 }
 
@@ -210,8 +278,18 @@ func R2(truth, pred []float64) float64 {
 
 // CrossValidate runs k-fold cross validation at the given degree and
 // returns the mean out-of-fold R². Folds are assigned by a deterministic
-// shuffle of the provided rng.
+// shuffle of the provided rng. Folds are fitted concurrently (one worker
+// per CPU); see CrossValidateParallel for the determinism contract.
 func CrossValidate(xs [][]float64, ys []float64, degree, k int, rng *rand.Rand) (float64, error) {
+	return CrossValidateParallel(xs, ys, degree, k, rng, 0)
+}
+
+// CrossValidateParallel is CrossValidate with an explicit worker count
+// (<= 0 means one per CPU). The rng is consumed once, up front, for the
+// fold permutation; fold fits draw no randomness, each fold's score lands
+// in its own slot, and the reduction runs in fold-index order — so the
+// result is byte-identical at every parallelism level, including serial.
+func CrossValidateParallel(xs [][]float64, ys []float64, degree, k int, rng *rand.Rand, workers int) (float64, error) {
 	if k < 2 {
 		return 0, fmt.Errorf("poly: k-fold needs k >= 2, got %d", k)
 	}
@@ -220,10 +298,13 @@ func CrossValidate(xs [][]float64, ys []float64, degree, k int, rng *rand.Rand) 
 		return 0, fmt.Errorf("poly: %d samples for %d folds", n, k)
 	}
 	perm := rng.Perm(n)
-	scores := make([]float64, 0, k)
-	for fold := 0; fold < k; fold++ {
-		var trX, teX [][]float64
-		var trY, teY []float64
+	scores := make([]float64, k)
+	errs := make([]error, k)
+	runFolds(k, workers, func(fold int) {
+		trXp, teXp := arena.Rows(n), arena.Rows(n)
+		trYp, teYp := arena.Floats(n), arena.Floats(n)
+		trX, teX := (*trXp)[:0], (*teXp)[:0]
+		trY, teY := (*trYp)[:0], (*teYp)[:0]
 		for i, idx := range perm {
 			if i%k == fold {
 				teX = append(teX, xs[idx])
@@ -235,20 +316,69 @@ func CrossValidate(xs [][]float64, ys []float64, degree, k int, rng *rand.Rand) 
 		}
 		m, err := Fit(trX, trY, degree)
 		if err != nil {
-			return 0, err
+			errs[fold] = err
+		} else {
+			predp := arena.Floats(len(teX))
+			m.PredictInto(*predp, teX)
+			scores[fold] = R2(teY, *predp)
+			arena.PutFloats(predp)
 		}
-		scores = append(scores, R2(teY, m.PredictAll(teX)))
+		arena.PutRows(trXp)
+		arena.PutRows(teXp)
+		arena.PutFloats(trYp)
+		arena.PutFloats(teYp)
+	})
+	for fold := 0; fold < k; fold++ {
+		if errs[fold] != nil {
+			return 0, errs[fold]
+		}
 	}
 	sum := 0.0
 	for _, s := range scores {
 		sum += s
 	}
-	return sum / float64(len(scores)), nil
+	return sum / float64(k), nil
+}
+
+// runFolds executes run(0..k-1) on a worker pool, in the PR 1 experiment
+// engine's feeder pattern. Each fold writes only its own result slot;
+// callers reduce in fold order after the pool drains.
+func runFolds(k, workers int, run func(fold int)) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > k {
+		workers = k
+	}
+	if workers <= 1 {
+		for fold := 0; fold < k; fold++ {
+			run(fold)
+		}
+		return
+	}
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for fold := range next {
+				run(fold)
+			}
+		}()
+	}
+	for fold := 0; fold < k; fold++ {
+		next <- fold
+	}
+	close(next)
+	wg.Wait()
 }
 
 // OutOfFoldResiduals returns one residual (truth - prediction) per sample,
 // each computed by a model that did not train on that sample (k-fold).
 // These are the honest residuals confidence intervals should be built from.
+// Folds fit concurrently; each writes a disjoint slice of the result, so
+// the output is identical to the serial computation.
 func OutOfFoldResiduals(xs [][]float64, ys []float64, degree, k int, rng *rand.Rand) ([]float64, error) {
 	if k < 2 {
 		return nil, fmt.Errorf("poly: k-fold needs k >= 2, got %d", k)
@@ -259,10 +389,12 @@ func OutOfFoldResiduals(xs [][]float64, ys []float64, degree, k int, rng *rand.R
 	}
 	perm := rng.Perm(n)
 	res := make([]float64, n)
-	for fold := 0; fold < k; fold++ {
-		var trX [][]float64
-		var trY []float64
-		var teIdx []int
+	errs := make([]error, k)
+	runFolds(k, 0, func(fold int) {
+		trXp := arena.Rows(n)
+		trYp := arena.Floats(n)
+		teIdxp := arena.Ints(n)
+		trX, trY, teIdx := (*trXp)[:0], (*trYp)[:0], (*teIdxp)[:0]
 		for i, idx := range perm {
 			if i%k == fold {
 				teIdx = append(teIdx, idx)
@@ -273,10 +405,19 @@ func OutOfFoldResiduals(xs [][]float64, ys []float64, degree, k int, rng *rand.R
 		}
 		m, err := Fit(trX, trY, degree)
 		if err != nil {
-			return nil, err
+			errs[fold] = err
+		} else {
+			for _, idx := range teIdx {
+				res[idx] = ys[idx] - m.Predict(xs[idx])
+			}
 		}
-		for _, idx := range teIdx {
-			res[idx] = ys[idx] - m.Predict(xs[idx])
+		arena.PutRows(trXp)
+		arena.PutFloats(trYp)
+		arena.PutInts(teIdxp)
+	})
+	for fold := 0; fold < k; fold++ {
+		if errs[fold] != nil {
+			return nil, errs[fold]
 		}
 	}
 	return res, nil

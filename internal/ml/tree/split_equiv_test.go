@@ -1,0 +1,154 @@
+package tree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+// giniMap and bestSplitNaive are the pre-optimization implementations:
+// string-keyed count maps rebuilt per feature, reduced over the sorted
+// label list. They are the bit-for-bit oracle for the interned, arena-
+// backed bestSplit.
+func giniMap(counts map[string]int, labels []string, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	g := 1.0
+	for _, l := range labels {
+		p := float64(counts[l]) / float64(total)
+		g -= p * p
+	}
+	return g
+}
+
+func bestSplitNaive(xs [][]float64, labels []string, idx []int, minLeaf int) (feat int, thr, gain float64) {
+	total := len(idx)
+	parentCounts := map[string]int{}
+	for _, i := range idx {
+		parentCounts[labels[i]]++
+	}
+	classLabels := make([]string, 0, len(parentCounts))
+	for l := range parentCounts {
+		classLabels = append(classLabels, l)
+	}
+	sort.Strings(classLabels)
+	parentGini := giniMap(parentCounts, classLabels, total)
+	bestGain := 0.0
+	bestFeat, bestThr := -1, 0.0
+	nf := len(xs[idx[0]])
+	order := make([]int, len(idx))
+	for f := 0; f < nf; f++ {
+		copy(order, idx)
+		sort.Slice(order, func(a, b int) bool { return xs[order[a]][f] < xs[order[b]][f] })
+		leftCounts := map[string]int{}
+		rightCounts := map[string]int{}
+		for l, n := range parentCounts {
+			rightCounts[l] = n
+		}
+		for pos := 0; pos < total-1; pos++ {
+			l := labels[order[pos]]
+			leftCounts[l]++
+			rightCounts[l]--
+			nl, nr := pos+1, total-pos-1
+			if xs[order[pos]][f] == xs[order[pos+1]][f] {
+				continue
+			}
+			if nl < minLeaf || nr < minLeaf {
+				continue
+			}
+			g := parentGini -
+				(float64(nl)*giniMap(leftCounts, classLabels, nl)+float64(nr)*giniMap(rightCounts, classLabels, nr))/float64(total)
+			if g > bestGain {
+				bestGain = g
+				bestFeat = f
+				bestThr = (xs[order[pos]][f] + xs[order[pos+1]][f]) / 2
+			}
+		}
+	}
+	if bestFeat < 0 {
+		return 0, 0, 0
+	}
+	return bestFeat, bestThr, bestGain
+}
+
+// TestBestSplitMatchesNaiveBitwise: interning labels to dense ids and
+// sweeping flat count slices must choose the identical split — feature,
+// threshold, and gain to the last bit — on every node shape.
+func TestBestSplitMatchesNaiveBitwise(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(150)
+		nf := 1 + rng.Intn(4)
+		nClasses := 2 + rng.Intn(4)
+		xs := make([][]float64, n)
+		labels := make([]string, n)
+		for i := range xs {
+			x := make([]float64, nf)
+			for j := range x {
+				if j%2 == 0 {
+					x[j] = rng.NormFloat64()
+				} else {
+					x[j] = float64(rng.Intn(5)) // duplicates: equal-value skip path
+				}
+			}
+			xs[i] = x
+			labels[i] = fmt.Sprintf("class-%d", rng.Intn(nClasses))
+		}
+		// Use a subset of indices, as grow() does below the root.
+		var idx []int
+		for i := 0; i < n; i++ {
+			if rng.Intn(4) != 0 {
+				idx = append(idx, i)
+			}
+		}
+		if len(idx) < 2 {
+			return true
+		}
+		minLeaf := 1 + rng.Intn(3)
+		wf, wt, wg := bestSplitNaive(xs, labels, idx, minLeaf)
+		gf, gt, gg := bestSplit(xs, labels, idx, minLeaf)
+		if gf != wf || gt != wt || gg != wg {
+			t.Logf("seed %d: got (%d %x %x) want (%d %x %x)", seed, gf, gt, gg, wf, wt, wg)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFitDeterministicAcrossRuns: two fits of the same data must produce
+// structurally identical trees (the arena-backed scratch is invisible).
+func TestFitDeterministicAcrossRuns(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	n, nf := 200, 3
+	xs := make([][]float64, n)
+	labels := make([]string, n)
+	for i := range xs {
+		x := make([]float64, nf)
+		for j := range x {
+			x[j] = rng.NormFloat64()
+		}
+		xs[i] = x
+		if x[0]+x[1] > 0 {
+			labels[i] = "hi"
+		} else {
+			labels[i] = "lo"
+		}
+	}
+	a, err := Fit(xs, labels, Options{MaxDepth: 6, MinLeafSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fit(xs, labels, Options{MaxDepth: 6, MinLeafSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("tree structure differs between identical fits:\n%s\nvs\n%s", a, b)
+	}
+}

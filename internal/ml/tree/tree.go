@@ -12,6 +12,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"opprox/internal/ml/arena"
 )
 
 // Classifier is a fitted decision tree.
@@ -161,52 +163,80 @@ func majority(labels []string, idx []int) (string, bool) {
 	return best, len(counts) == 1
 }
 
-// gini computes Gini impurity, reducing over the caller-provided sorted
-// label order: float subtraction is not associative, so iterating the
-// counts map directly would let the randomized map order perturb the low
-// bits of split scores — and with them, tie-breaks in bestSplit.
-func gini(counts map[string]int, labels []string, total int) float64 {
+// giniCounts computes Gini impurity from slice-indexed class counts,
+// reducing in index order. Class indices are assigned in sorted label
+// order: float subtraction is not associative, so any other reduction
+// order (the original implementation iterated a counts map keyed by label)
+// could perturb the low bits of split scores — and with them, tie-breaks
+// in bestSplit.
+func giniCounts(counts []int, total int) float64 {
 	if total == 0 {
 		return 0
 	}
 	g := 1.0
-	for _, l := range labels {
-		p := float64(counts[l]) / float64(total)
+	for _, n := range counts {
+		p := float64(n) / float64(total)
 		g -= p * p
 	}
 	return g
 }
 
 // bestSplit scans every feature and every midpoint between consecutive
-// distinct values, maximizing Gini gain.
+// distinct values, maximizing Gini gain. Class labels are interned to
+// dense integer ids once per node, so the inner sweep touches only flat
+// int slices (drawn from the shared arena) — no map traffic per candidate
+// threshold.
 func bestSplit(xs [][]float64, labels []string, idx []int, minLeaf int) (feat int, thr, gain float64) {
 	total := len(idx)
-	parentCounts := map[string]int{}
+	id := make(map[string]int, 8)
+	var classLabels []string
 	for _, i := range idx {
-		parentCounts[labels[i]]++
-	}
-	classLabels := make([]string, 0, len(parentCounts))
-	for l := range parentCounts {
-		classLabels = append(classLabels, l)
+		if _, ok := id[labels[i]]; !ok {
+			id[labels[i]] = 0
+			classLabels = append(classLabels, labels[i])
+		}
 	}
 	sort.Strings(classLabels)
-	parentGini := gini(parentCounts, classLabels, total)
+	for c, l := range classLabels {
+		id[l] = c
+	}
+	nc := len(classLabels)
+
+	countsp := arena.Ints(3 * nc)
+	defer arena.PutInts(countsp)
+	counts := (*countsp)[:3*nc]
+	parentCounts, leftCounts, rightCounts := counts[:nc], counts[nc:2*nc], counts[2*nc:]
+	for c := range parentCounts {
+		parentCounts[c] = 0
+	}
+
+	clsp := arena.Ints(len(labels))
+	defer arena.PutInts(clsp)
+	cls := (*clsp)[:len(labels)]
+	for _, i := range idx {
+		c := id[labels[i]]
+		cls[i] = c
+		parentCounts[c]++
+	}
+
+	parentGini := giniCounts(parentCounts, total)
 	bestGain := 0.0
 	bestFeat, bestThr := -1, 0.0
 	nf := len(xs[idx[0]])
-	order := make([]int, len(idx))
+	orderp := arena.Ints(total)
+	defer arena.PutInts(orderp)
+	order := (*orderp)[:total]
 	for f := 0; f < nf; f++ {
 		copy(order, idx)
 		sort.Slice(order, func(a, b int) bool { return xs[order[a]][f] < xs[order[b]][f] })
-		leftCounts := map[string]int{}
-		rightCounts := map[string]int{}
-		for l, n := range parentCounts {
-			rightCounts[l] = n
+		for c := 0; c < nc; c++ {
+			leftCounts[c] = 0
+			rightCounts[c] = parentCounts[c]
 		}
 		for pos := 0; pos < total-1; pos++ {
-			l := labels[order[pos]]
-			leftCounts[l]++
-			rightCounts[l]--
+			c := cls[order[pos]]
+			leftCounts[c]++
+			rightCounts[c]--
 			nl, nr := pos+1, total-pos-1
 			if xs[order[pos]][f] == xs[order[pos+1]][f] {
 				continue // can't split between equal values
@@ -215,7 +245,7 @@ func bestSplit(xs [][]float64, labels []string, idx []int, minLeaf int) (feat in
 				continue
 			}
 			g := parentGini -
-				(float64(nl)*gini(leftCounts, classLabels, nl)+float64(nr)*gini(rightCounts, classLabels, nr))/float64(total)
+				(float64(nl)*giniCounts(leftCounts, nl)+float64(nr)*giniCounts(rightCounts, nr))/float64(total)
 			if g > bestGain {
 				bestGain = g
 				bestFeat = f

@@ -1,0 +1,13 @@
+#!/bin/sh
+# Reproducible benchmark harness: runs the kernel benchmark set and
+# records the performance trajectory in BENCH_<pr>.json (baseline ->
+# current). `make bench` runs this; re-runs refresh the "current" section
+# and carry the committed baseline forward. Extra arguments are passed to
+# cmd/opprox-bench (e.g. -benchtime 2s, -bench 'Predict').
+set -eu
+
+cd "$(dirname "$0")/.."
+
+PR=${PR:-3}
+go run ./cmd/opprox-bench -pr "$PR" "$@"
+echo "wrote BENCH_${PR}.json"

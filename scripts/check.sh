@@ -31,4 +31,13 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+# Opt-in perf gate: BENCH=1 re-runs the kernel benchmark set and fails on
+# a >20% ns/op regression against the committed trajectory file. Off by
+# default because benchmark wall time dwarfs the rest of the gate and
+# shared CI machines are noisy.
+if [ "${BENCH:-0}" = "1" ]; then
+    echo "== bench regression (>20% ns/op fails) =="
+    go run ./cmd/opprox-bench -against "BENCH_${PR:-3}.json" -max 0.20
+fi
+
 echo "check: all green"
