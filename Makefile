@@ -1,6 +1,6 @@
 # Convenience wrappers; scripts/check.sh is the tier-1 gate CI runs.
 
-.PHONY: build test check bench vet vet-json
+.PHONY: build test check bench vet vet-json serve serve-smoke
 
 build:
 	go build ./...
@@ -17,6 +17,19 @@ check:
 # `go test -bench=. .` when profiling end-to-end training.
 bench:
 	sh scripts/bench.sh
+
+# serve runs the dispatch service against the MODELS directory (default
+# ./models). Train model files into it first, e.g.:
+#   go run ./cmd/opprox -app pso -save models/pso.json
+MODELS ?= models
+serve:
+	go run ./cmd/opprox-serve -models $(MODELS)
+
+# serve-smoke is the standalone form of the check.sh smoke step: build,
+# train a small model, one dispatch + one degraded dispatch, clean
+# shutdown.
+serve-smoke:
+	sh scripts/serve-smoke.sh
 
 # vet runs the determinism/concurrency analyzers (internal/analysis) over
 # the module and fails on any unsuppressed finding at or above warning.

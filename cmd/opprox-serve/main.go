@@ -1,0 +1,106 @@
+// Command opprox-serve is the long-running form of the paper's runtime
+// flow (§4.2): instead of re-running a script per job, it keeps trained
+// model sets resident in memory and answers dispatch requests over an
+// HTTP/JSON API.
+//
+// Usage:
+//
+//	opprox-serve [-addr 127.0.0.1:7077] [-models DIR] [-timeout 10s]
+//
+// Endpoints:
+//
+//	POST /v1/dispatch  {"app": "pso", "budget": 10, "model_path": "pso.json"}
+//	POST /v1/reload    {"model": "pso.json"}  (empty body reloads all)
+//	GET  /healthz
+//	GET  /metricsz
+//
+// Model files are read from -models (path traversal outside it is
+// rejected) and cached after one validated load. A dispatch whose model
+// is missing or corrupt returns the all-accurate schedule with
+// "degraded": true unless the request sets "strict": true. Pass -addr
+// with port 0 to bind an ephemeral port; the chosen address is printed
+// on the "listening on" line.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"opprox/internal/obs"
+	"opprox/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("opprox-serve: ")
+
+	addr := flag.String("addr", "127.0.0.1:7077", "listen address (port 0 picks an ephemeral port)")
+	models := flag.String("models", ".", "model store directory")
+	timeout := flag.Duration("timeout", serve.DefaultTimeout, "per-request budget")
+	retries := flag.Int("retries", 2, "extra attempts for transient model-store reads")
+	retryBase := flag.Duration("retry-base", 25*time.Millisecond, "first retry backoff (doubles per attempt)")
+	metrics := flag.String("metrics", "", "write a JSON metrics snapshot to this file on shutdown")
+	flag.Parse()
+
+	srv := serve.New(serve.Options{
+		Store:   serve.FileStore{Root: *models},
+		Timeout: *timeout,
+		Registry: serve.RegistryOptions{
+			Retries:   *retries,
+			RetryBase: *retryBase,
+		},
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("listening on http://%s (models: %s)", ln.Addr(), *models)
+
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case <-ctx.Done():
+		log.Printf("shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shutCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}
+
+	if *metrics != "" {
+		f, err := os.Create(*metrics)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := obs.Default.WriteJSON(f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "metrics written to %s\n", *metrics)
+	}
+}

@@ -176,6 +176,14 @@ func (t *Trained) Optimize(p apps.Params, budget float64) (approx.Schedule, Pred
 						continue
 					}
 					refill(cand, candLevels, candLeft, ph)
+					// The pin kept the downgraded phase from instantly
+					// reverting; once the other phases have drawn from the
+					// pool, the remainder is offered to every phase — the
+					// pinned one included — so no candidate ships dominated
+					// (stuck below a rung it can still afford).
+					if rem := budget - totalDeg(cand); rem > 1e-9 {
+						refill(cand, candLevels, rem, -1)
+					}
 					if totalSavings(cand) > totalSavings(plans)+1e-12 {
 						plans = cand
 						levels = candLevels
@@ -191,6 +199,12 @@ func (t *Trained) Optimize(p apps.Params, budget float64) (approx.Schedule, Pred
 			if !improved {
 				break
 			}
+		}
+		// Leave at an unpinned refill fixpoint: every phase has been
+		// offered the final leftover, so the returned plan is never
+		// dominated by a pure upgrade.
+		if rem := budget - totalDeg(plans); rem > 1e-9 {
+			refill(plans, levels, rem, -1)
 		}
 		return plans, levels
 	}
@@ -231,8 +245,17 @@ func (t *Trained) Optimize(p apps.Params, budget float64) (approx.Schedule, Pred
 	if totalSavings(poolPlans) > totalSavings(plans)+1e-12 {
 		plans, levels = poolPlans, poolLevels
 	}
+	// The winning level rows alias menu internals (phaseMenu.accurate and
+	// ladder cfg slices) and are shared between the schedule and the
+	// per-phase plans. Clone each row for each artifact so a caller
+	// mutating sched.Levels cannot corrupt Prediction.PerPhase (or vice
+	// versa).
 	sched := approx.UniformSchedule(t.Phases, make(approx.Config, len(t.Blocks)))
-	sched.Levels = levels
+	sched.Levels = make([]approx.Config, t.Phases)
+	for ph, lv := range levels {
+		sched.Levels[ph] = lv.Clone()
+		plans[ph].Levels = plans[ph].Levels.Clone()
+	}
 
 	pred := Prediction{PerPhase: plans}
 	savings := totalSavings(plans)

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"testing"
+
+	"opprox/internal/apps"
+)
+
+// Regression: Optimize used to return level rows that aliased internal
+// menu state (phaseMenu.accurate, ladder cfg slices) and were shared
+// between the Schedule and Prediction.PerPhase. A caller mutating
+// sched.Levels then silently corrupted the plan's recorded levels.
+func TestOptimizeScheduleDoesNotAliasPlan(t *testing.T) {
+	_, tr := trainToy(t)
+	p := apps.DefaultParams(toyApp{})
+
+	sched, pred, err := tr.Optimize(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pred.PerPhase) != sched.Phases {
+		t.Fatalf("plan has %d phases for a %d-phase schedule", len(pred.PerPhase), sched.Phases)
+	}
+	want := make([][]int, sched.Phases)
+	for ph := range pred.PerPhase {
+		want[ph] = append([]int(nil), pred.PerPhase[ph].Levels...)
+	}
+
+	// Scribble over the returned schedule.
+	for ph := range sched.Levels {
+		for bi := range sched.Levels[ph] {
+			sched.Levels[ph][bi] = 99
+		}
+	}
+	for ph := range pred.PerPhase {
+		for bi, lv := range pred.PerPhase[ph].Levels {
+			if lv != want[ph][bi] {
+				t.Fatalf("phase %d: mutating sched.Levels changed PerPhase[%d].Levels[%d] from %d to %d",
+					ph, ph, bi, want[ph][bi], lv)
+			}
+		}
+	}
+
+	// And the mutation must not leak into a fresh optimization either: the
+	// same inputs must reproduce the original schedule byte for byte.
+	sched2, pred2, err := tr.Optimize(p, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ph := range pred2.PerPhase {
+		for bi, lv := range sched2.Levels[ph] {
+			if lv != want[ph][bi] {
+				t.Fatalf("phase %d block %d: re-optimize returned level %d, want %d (internal state corrupted)",
+					ph, bi, lv, want[ph][bi])
+			}
+		}
+		// The plan rows and schedule rows agree but do not share storage.
+		sched2.Levels[ph][0] = -1
+		if pred2.PerPhase[ph].Levels[0] == -1 {
+			t.Fatalf("phase %d: schedule and plan share a level row", ph)
+		}
+		sched2.Levels[ph][0] = want[ph][0]
+	}
+}

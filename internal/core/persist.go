@@ -206,6 +206,16 @@ func LoadTrained(r io.Reader) (*Trained, error) {
 			return nil, fmt.Errorf("core: class %q has %d phase models for %d phases", sig, len(cd.Phase), mf.Phases)
 		}
 		for _, pd := range cd.Phase {
+			// The optimizer indexes straight into the confidence bands
+			// (conf.Banded.band), so a truncated or hand-edited file with
+			// empty bands or mismatched edges must be rejected here, not
+			// panic later inside Optimize.
+			if err := pd.SpeedupCI.Validate(); err != nil {
+				return nil, fmt.Errorf("core: class %q phase %d speedup CI: %w", sig, pd.Phase, err)
+			}
+			if err := pd.DegCI.Validate(); err != nil {
+				return nil, fmt.Errorf("core: class %q phase %d degradation CI: %w", sig, pd.Phase, err)
+			}
 			pm := &PhaseModel{
 				Phase:     pd.Phase,
 				SpeedupCI: pd.SpeedupCI,

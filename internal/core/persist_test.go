@@ -2,6 +2,8 @@ package core
 
 import (
 	"bytes"
+	"encoding/json"
+	"sort"
 	"strings"
 	"testing"
 
@@ -81,6 +83,101 @@ func TestLoadRejectsInconsistentPhases(t *testing.T) {
 	body := strings.Replace(buf.String(), `"phases": 4`, `"phases": 3`, 1)
 	if _, err := LoadTrained(strings.NewReader(body)); err == nil {
 		t.Fatal("accepted model file with mismatched phase count")
+	}
+}
+
+// TestLoadCorruptModelCorpus drives LoadTrained over a corpus of
+// systematically corrupted model files: every case must produce an error
+// — never a panic, and never a silently loaded model. The confidence-band
+// cases are the regression for the Banded.Validate fix: empty bands or
+// mismatched edges used to pass loading and panic with an index
+// out-of-range inside conf.Banded.band during Optimize.
+func TestLoadCorruptModelCorpus(t *testing.T) {
+	_, tr := trainToy(t)
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	// mutate decodes the valid file into generic JSON, applies f, and
+	// re-encodes — structural corruption without string surgery.
+	mutate := func(f func(m map[string]any)) string {
+		var m map[string]any
+		if err := json.Unmarshal(valid, &m); err != nil {
+			t.Fatal(err)
+		}
+		f(m)
+		b, err := json.Marshal(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	// firstPhase returns phases[0] of the lexicographically first class.
+	firstPhase := func(m map[string]any) map[string]any {
+		classes := m["classes"].(map[string]any)
+		sigs := make([]string, 0, len(classes))
+		for sig := range classes {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		return classes[sigs[0]].(map[string]any)["phases"].([]any)[0].(map[string]any)
+	}
+
+	cases := map[string]string{
+		"truncated json":  string(valid[:len(valid)/2]),
+		"truncated early": string(valid[:40]),
+		"version skew": mutate(func(m map[string]any) {
+			m["version"] = 99.0
+		}),
+		"wrong phase count": mutate(func(m map[string]any) {
+			m["phases"] = float64(tr.Phases + 1)
+		}),
+		"no blocks": mutate(func(m map[string]any) {
+			m["blocks"] = []any{}
+		}),
+		"empty speedup bands": mutate(func(m map[string]any) {
+			firstPhase(m)["speedup_ci"] = map[string]any{"Edges": []any{}, "Bands": []any{}, "P": 0.95}
+		}),
+		"empty degradation bands": mutate(func(m map[string]any) {
+			firstPhase(m)["degradation_ci"] = map[string]any{"Edges": []any{}, "Bands": []any{}, "P": 0.95}
+		}),
+		"edge count mismatch": mutate(func(m map[string]any) {
+			ci := firstPhase(m)["speedup_ci"].(map[string]any)
+			ci["Edges"] = []any{1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0}
+		}),
+		"unsorted edges": mutate(func(m map[string]any) {
+			firstPhase(m)["degradation_ci"] = map[string]any{
+				"Edges": []any{2.0, 1.0},
+				"Bands": []any{
+					map[string]any{"HalfWidth": 0.1, "P": 0.95},
+					map[string]any{"HalfWidth": 0.2, "P": 0.95},
+					map[string]any{"HalfWidth": 0.3, "P": 0.95},
+				},
+				"P": 0.95,
+			}
+		}),
+		"negative half-width": mutate(func(m map[string]any) {
+			firstPhase(m)["speedup_ci"] = map[string]any{
+				"Bands": []any{map[string]any{"HalfWidth": -1.0, "P": 0.95}},
+				"P":     0.95,
+			}
+		}),
+	}
+	for name, body := range cases {
+		loaded, err := LoadTrained(strings.NewReader(body))
+		if err == nil {
+			t.Fatalf("%s: corrupt model file loaded without error", name)
+		}
+		if loaded != nil {
+			t.Fatalf("%s: corrupt load returned a model alongside the error", name)
+		}
+	}
+
+	// The unmodified file still loads, and its bands pass validation.
+	if _, err := LoadTrained(bytes.NewReader(valid)); err != nil {
+		t.Fatalf("valid file rejected: %v", err)
 	}
 }
 

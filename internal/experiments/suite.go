@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
-	"sync"
 
 	"opprox/internal/approx"
 	"opprox/internal/apps"
@@ -14,6 +13,7 @@ import (
 	"opprox/internal/apps/tracker"
 	"opprox/internal/apps/vidpipe"
 	"opprox/internal/core"
+	"opprox/internal/flight"
 	"opprox/internal/obs"
 	"opprox/internal/qos"
 )
@@ -56,20 +56,12 @@ type Suite struct {
 
 	runners map[string]*apps.Runner
 
-	mu      sync.Mutex
-	trained map[string]*trainEntry
-}
-
-// trainEntry is one singleflight slot of the trained-model cache.
-type trainEntry struct {
-	once sync.Once
-	tr   *core.Trained
-	err  error
+	trained flight.Group[*core.Trained]
 }
 
 // NewSuite builds a suite over the five benchmark applications.
 func NewSuite(seed int64, quick bool) *Suite {
-	s := &Suite{Seed: seed, Quick: quick, runners: map[string]*apps.Runner{}, trained: map[string]*trainEntry{}}
+	s := &Suite{Seed: seed, Quick: quick, runners: map[string]*apps.Runner{}}
 	for _, a := range []apps.App{lulesh.New(), comd.New(), vidpipe.New(), tracker.New(), pso.New()} {
 		s.runners[a.Name()] = apps.NewRunner(a)
 	}
@@ -117,22 +109,16 @@ func (s *Suite) Trained(app string, phases int) (*core.Trained, error) {
 
 // train is the singleflight core behind Trained and trainedWith: the
 // first caller for a key runs fn, every other caller (concurrent or
-// later) reuses its result.
+// later) reuses its result. Errors stay cached — a training run that
+// failed once fails the same way for every experiment that needs it.
 func (s *Suite) train(key string, fn func() (*core.Trained, error)) (*core.Trained, error) {
-	s.mu.Lock()
-	e, ok := s.trained[key]
-	if !ok {
-		e = &trainEntry{}
-		s.trained[key] = e
-	}
-	s.mu.Unlock()
-	if ok {
+	tr, err, hit := s.trained.Do(key, fn)
+	if hit {
 		obs.Inc("experiments.train.cached")
 	} else {
 		obs.Inc("experiments.train.miss")
 	}
-	e.once.Do(func() { e.tr, e.err = fn() })
-	return e.tr, e.err
+	return tr, err
 }
 
 // sampleConfigs returns a deterministic set of approximation settings used

@@ -1,0 +1,93 @@
+// Package flight provides a minimal generic singleflight cache: the first
+// caller for a key computes the value, every other caller — concurrent or
+// later — reuses the result. It is the deduplication pattern the parallel
+// experiment engine introduced for trained-model and golden-run caches
+// (internal/experiments), extracted so the serving layer's model registry
+// (internal/serve) can share it.
+//
+// Unlike golang.org/x/sync/singleflight, results (including errors) stay
+// cached after the flight completes; callers that want failed keys retried
+// call Forget, and callers that need atomic hot-swap call Replace.
+package flight
+
+import (
+	"sort"
+	"sync"
+)
+
+// slot is one cached computation.
+type slot[V any] struct {
+	once sync.Once
+	v    V
+	err  error
+}
+
+// Group deduplicates computations by string key. The zero value is ready
+// to use. All methods are safe for concurrent use.
+type Group[V any] struct {
+	mu    sync.Mutex
+	slots map[string]*slot[V]
+}
+
+// Do returns the cached value for key, computing it with fn on first use.
+// Concurrent callers for the same key block until the one running fn
+// finishes, then share its result. The third return reports whether the
+// slot already existed before this call (a cache hit): errors are cached
+// like values, so a caller that wants failures retried must Forget the
+// key.
+func (g *Group[V]) Do(key string, fn func() (V, error)) (V, error, bool) {
+	g.mu.Lock()
+	if g.slots == nil {
+		g.slots = map[string]*slot[V]{}
+	}
+	s, hit := g.slots[key]
+	if !hit {
+		s = &slot[V]{}
+		g.slots[key] = s
+	}
+	g.mu.Unlock()
+	s.once.Do(func() { s.v, s.err = fn() })
+	return s.v, s.err, hit
+}
+
+// Forget drops key so the next Do recomputes it. Callers already blocked
+// on the old flight still receive its result.
+func (g *Group[V]) Forget(key string) {
+	g.mu.Lock()
+	delete(g.slots, key)
+	g.mu.Unlock()
+}
+
+// Replace atomically installs a completed value for key; subsequent Do
+// calls return it without running their fn. This is the hot-reload
+// primitive: compute the replacement outside the group, then swap it in
+// only on success.
+func (g *Group[V]) Replace(key string, v V) {
+	s := &slot[V]{v: v}
+	s.once.Do(func() {})
+	g.mu.Lock()
+	if g.slots == nil {
+		g.slots = map[string]*slot[V]{}
+	}
+	g.slots[key] = s
+	g.mu.Unlock()
+}
+
+// Keys returns the keys with a slot (completed or in flight), sorted.
+func (g *Group[V]) Keys() []string {
+	g.mu.Lock()
+	keys := make([]string, 0, len(g.slots))
+	for k := range g.slots {
+		keys = append(keys, k)
+	}
+	g.mu.Unlock()
+	sort.Strings(keys)
+	return keys
+}
+
+// Len reports the number of slots.
+func (g *Group[V]) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.slots)
+}

@@ -1,0 +1,119 @@
+package flight
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestDoComputesOnce(t *testing.T) {
+	var g Group[int]
+	var calls atomic.Int32
+	fn := func() (int, error) { calls.Add(1); return 42, nil }
+
+	v, err, hit := g.Do("k", fn)
+	if v != 42 || err != nil || hit {
+		t.Fatalf("first Do = (%d, %v, hit=%v), want (42, nil, false)", v, err, hit)
+	}
+	v, err, hit = g.Do("k", fn)
+	if v != 42 || err != nil || !hit {
+		t.Fatalf("second Do = (%d, %v, hit=%v), want (42, nil, true)", v, err, hit)
+	}
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fn ran %d times, want 1", n)
+	}
+}
+
+func TestDoConcurrentSharesOneFlight(t *testing.T) {
+	var g Group[int]
+	var calls atomic.Int32
+	const workers = 32
+	var wg sync.WaitGroup
+	results := make([]int, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err, _ := g.Do("k", func() (int, error) {
+				calls.Add(1)
+				return 7, nil
+			})
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("fn ran %d times under contention, want 1", n)
+	}
+	for i, v := range results {
+		if v != 7 {
+			t.Fatalf("worker %d got %d, want 7", i, v)
+		}
+	}
+}
+
+func TestErrorsStayCachedUntilForget(t *testing.T) {
+	var g Group[int]
+	boom := errors.New("boom")
+	calls := 0
+	fn := func() (int, error) { calls++; return 0, boom }
+
+	if _, err, _ := g.Do("k", fn); !errors.Is(err, boom) {
+		t.Fatalf("got %v, want boom", err)
+	}
+	if _, err, hit := g.Do("k", fn); !errors.Is(err, boom) || !hit {
+		t.Fatalf("cached error lost: (%v, hit=%v)", err, hit)
+	}
+	if calls != 1 {
+		t.Fatalf("fn ran %d times, want 1 (errors cache)", calls)
+	}
+	g.Forget("k")
+	if _, err, hit := g.Do("k", fn); !errors.Is(err, boom) || hit {
+		t.Fatalf("after Forget: (%v, hit=%v), want fresh boom", err, hit)
+	}
+	if calls != 2 {
+		t.Fatalf("fn ran %d times after Forget, want 2", calls)
+	}
+}
+
+func TestReplaceInstallsWithoutRunning(t *testing.T) {
+	var g Group[string]
+	g.Replace("k", "swapped")
+	v, err, hit := g.Do("k", func() (string, error) {
+		t.Fatal("fn ran despite Replace")
+		return "", nil
+	})
+	if v != "swapped" || err != nil || !hit {
+		t.Fatalf("got (%q, %v, hit=%v), want (swapped, nil, true)", v, err, hit)
+	}
+
+	// Replace also overwrites an existing completed slot.
+	g.Replace("k", "swapped2")
+	v, _, _ = g.Do("k", func() (string, error) { return "", nil })
+	if v != "swapped2" {
+		t.Fatalf("got %q after second Replace, want swapped2", v)
+	}
+}
+
+func TestKeysAndLen(t *testing.T) {
+	var g Group[int]
+	if g.Len() != 0 || len(g.Keys()) != 0 {
+		t.Fatal("zero group not empty")
+	}
+	g.Do("a", func() (int, error) { return 1, nil })
+	g.Replace("b", 2)
+	if g.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", g.Len())
+	}
+	seen := map[string]bool{}
+	for _, k := range g.Keys() {
+		seen[k] = true
+	}
+	if !seen["a"] || !seen["b"] {
+		t.Fatalf("Keys = %v, want a and b", g.Keys())
+	}
+}

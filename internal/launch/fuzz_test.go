@@ -1,6 +1,7 @@
 package launch
 
 import (
+	"math/rand"
 	"strings"
 	"testing"
 
@@ -50,6 +51,100 @@ func FuzzEnvRoundTrip(f *testing.F) {
 			}
 		}
 	})
+}
+
+// nameAlphabet deliberately mixes characters that survive env-key
+// sanitization with ones that collapse to '_' — the raw material for
+// collisions ("blur-x" vs "blur_x") and case folds ("Forces" vs
+// "forces").
+const nameAlphabet = "abcXYZ09-_. #é"
+
+// FuzzEnvRoundTripRandomBlocks extends the round trip to randomized block
+// sets: names are drawn from a collision-prone alphabet, so the fuzzer
+// constantly produces block sets whose sanitized keys collide. The
+// contract: colliding sets are rejected by BOTH EncodeEnv and DecodeEnv
+// (the silent-corruption regression), and every accepted set round-trips
+// exactly. No input may panic.
+func FuzzEnvRoundTripRandomBlocks(f *testing.F) {
+	for _, seed := range []int64{1, 2, 7, 42, 1337, -9} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+
+		nBlocks := 1 + rng.Intn(5)
+		blocks := make([]approx.Block, nBlocks)
+		for i := range blocks {
+			n := 1 + rng.Intn(8)
+			var sb strings.Builder
+			for j := 0; j < n; j++ {
+				sb.WriteByte(nameAlphabet[rng.Intn(len(nameAlphabet))])
+			}
+			blocks[i] = approx.Block{
+				Name:      sb.String(),
+				Technique: approx.Technique(rng.Intn(4)),
+				MaxLevel:  1 + rng.Intn(5),
+			}
+		}
+		phases := 1 + rng.Intn(5)
+		sched := approx.UniformSchedule(phases, make(approx.Config, nBlocks))
+		for ph := 0; ph < phases; ph++ {
+			for bi, b := range blocks {
+				sched.Levels[ph][bi] = rng.Intn(b.MaxLevel + 1)
+			}
+		}
+
+		collides := CheckEnvKeys(blocks) != nil
+		env, err := EncodeEnv(sched, blocks)
+		if collides {
+			if err == nil {
+				t.Fatalf("EncodeEnv accepted colliding block set %v", blocks)
+			}
+			if _, derr := DecodeEnv([]string{"OPPROX_PHASES=1"}, blocks); derr == nil {
+				t.Fatalf("DecodeEnv accepted colliding block set %v", blocks)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("EncodeEnv rejected a valid schedule over %v: %v", blocks, err)
+		}
+		got, err := DecodeEnv(env, blocks)
+		if err != nil {
+			t.Fatalf("DecodeEnv rejected EncodeEnv output %v: %v", env, err)
+		}
+		if got.Phases != sched.Phases {
+			t.Fatalf("phase count changed: %d -> %d", sched.Phases, got.Phases)
+		}
+		for ph := range sched.Levels {
+			for bi := range sched.Levels[ph] {
+				if got.Levels[ph][bi] != sched.Levels[ph][bi] {
+					t.Fatalf("level (%d,%d) changed: %d -> %d (env %v)",
+						ph, bi, sched.Levels[ph][bi], got.Levels[ph][bi], env)
+				}
+			}
+		}
+	})
+}
+
+// TestDispatchCorruptModels is the dispatch-side half of the corrupt
+// model-file corpus (core's TestLoadCorruptModelCorpus covers LoadTrained
+// directly): a job against a broken model reader must error, never panic.
+func TestDispatchCorruptModels(t *testing.T) {
+	cfg := &JobConfig{App: "pso", Budget: 5, ModelPath: "irrelevant"}
+	cases := map[string]string{
+		"empty":          "",
+		"not json":       "pickle rick",
+		"truncated":      `{"version": 1, "phases": 2, "blo`,
+		"wrong shape":    `[]`,
+		"null":           `null`,
+		"version skew":   `{"version": 2}`,
+		"negative phase": `{"version": 1, "phases": -1}`,
+	}
+	for name, body := range cases {
+		if _, err := Dispatch(cfg, strings.NewReader(body)); err == nil {
+			t.Fatalf("%s: Dispatch accepted a corrupt model file", name)
+		}
+	}
 }
 
 // FuzzDecodeEnv throws arbitrary assignment lists at DecodeEnv: it must

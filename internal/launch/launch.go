@@ -45,16 +45,26 @@ func ParseJobConfig(r io.Reader) (*JobConfig, error) {
 	if err := dec.Decode(&cfg); err != nil {
 		return nil, fmt.Errorf("launch: decoding job config: %w", err)
 	}
-	if cfg.App == "" {
-		return nil, fmt.Errorf("launch: job config missing \"app\"")
-	}
-	if cfg.Budget < 0 {
-		return nil, fmt.Errorf("launch: negative budget %g", cfg.Budget)
-	}
-	if cfg.ModelPath == "" {
-		return nil, fmt.Errorf("launch: job config missing \"model_path\"")
+	if err := cfg.Validate(); err != nil {
+		return nil, err
 	}
 	return &cfg, nil
+}
+
+// Validate checks the semantic constraints on a job configuration
+// (ParseJobConfig applies it after decoding; services that build a
+// JobConfig from their own request type apply it directly).
+func (c *JobConfig) Validate() error {
+	if c.App == "" {
+		return fmt.Errorf("launch: job config missing \"app\"")
+	}
+	if c.Budget < 0 {
+		return fmt.Errorf("launch: negative budget %g", c.Budget)
+	}
+	if c.ModelPath == "" {
+		return fmt.Errorf("launch: job config missing \"model_path\"")
+	}
+	return nil
 }
 
 // envPrefix namespaces the schedule variables.
@@ -76,11 +86,33 @@ func envKey(phase int, block string) string {
 	return fmt.Sprintf("%s_P%d_%s", envPrefix, phase+1, clean)
 }
 
+// CheckEnvKeys verifies that every block maps to a distinct environment
+// key. Sanitization is lossy — "blur-x" and "blur_x" both become
+// OPPROX_P<n>_BLUR_X — and a collision silently corrupts the schedule:
+// EncodeEnv emits duplicate assignments and DecodeEnv hands the value to
+// the first block while the second falls back to level 0. Both sides of
+// the contract therefore refuse colliding block sets.
+func CheckEnvKeys(blocks []approx.Block) error {
+	seen := make(map[string]string, len(blocks))
+	for _, b := range blocks {
+		k := envKey(0, b.Name)
+		if prev, ok := seen[k]; ok {
+			return fmt.Errorf("launch: block names %q and %q both map to environment key %s; rename one",
+				prev, b.Name, k)
+		}
+		seen[k] = b.Name
+	}
+	return nil
+}
+
 // EncodeEnv renders a schedule as environment-variable assignments, one
 // per (phase, block), plus OPPROX_PHASES with the phase count. The order
 // is deterministic: phases outer, blocks inner.
 func EncodeEnv(sched approx.Schedule, blocks []approx.Block) ([]string, error) {
 	if err := sched.Validate(blocks); err != nil {
+		return nil, err
+	}
+	if err := CheckEnvKeys(blocks); err != nil {
 		return nil, err
 	}
 	out := []string{fmt.Sprintf("%s_PHASES=%d", envPrefix, sched.Phases)}
@@ -97,6 +129,9 @@ func EncodeEnv(sched approx.Schedule, blocks []approx.Block) ([]string, error) {
 // an instrumented application run without OPPROX degenerates to the exact
 // program. Unknown OPPROX_ variables are rejected so typos fail loudly.
 func DecodeEnv(env []string, blocks []approx.Block) (approx.Schedule, error) {
+	if err := CheckEnvKeys(blocks); err != nil {
+		return approx.Schedule{}, err
+	}
 	vars := map[string]string{}
 	for _, kv := range env {
 		parts := strings.SplitN(kv, "=", 2)
@@ -162,6 +197,14 @@ func Dispatch(cfg *JobConfig, models io.Reader) (*Plan, error) {
 	if err != nil {
 		return nil, err
 	}
+	return DispatchTrained(cfg, tr)
+}
+
+// DispatchTrained is the model-in-hand half of Dispatch: optimize the job
+// against already-loaded models and render the environment. Long-lived
+// services (opprox-serve) that cache models in a registry call this per
+// request instead of re-reading and re-validating the model file.
+func DispatchTrained(cfg *JobConfig, tr *core.Trained) (*Plan, error) {
 	params := cfg.Params
 	if params == nil {
 		params = apps.Params{}

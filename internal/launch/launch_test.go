@@ -143,6 +143,33 @@ func TestEnvKeySanitizesNames(t *testing.T) {
 	}
 }
 
+// Regression: "blur-x" and "blur_x" sanitize to the same OPPROX_P1_BLUR_X
+// key. Before collision detection, EncodeEnv emitted duplicate assignments
+// and DecodeEnv handed the value to the first block while the second
+// silently fell back to level 0.
+func TestEnvKeyCollisionRejected(t *testing.T) {
+	colliding := []approx.Block{
+		{Name: "blur-x", Technique: approx.Perforation, MaxLevel: 3},
+		{Name: "blur_x", Technique: approx.Truncation, MaxLevel: 3},
+	}
+	sched := approx.UniformSchedule(1, approx.Config{1, 2})
+	if _, err := EncodeEnv(sched, colliding); err == nil {
+		t.Fatal("EncodeEnv accepted colliding block names")
+	} else if !strings.Contains(err.Error(), "blur-x") || !strings.Contains(err.Error(), "blur_x") {
+		t.Fatalf("collision error should name both blocks: %v", err)
+	}
+	if _, err := DecodeEnv([]string{"OPPROX_PHASES=1"}, colliding); err == nil {
+		t.Fatal("DecodeEnv accepted colliding block names")
+	}
+	// Case-folding collisions are collisions too.
+	if err := CheckEnvKeys([]approx.Block{{Name: "Forces"}, {Name: "forces"}}); err == nil {
+		t.Fatal("CheckEnvKeys accepted case-folded duplicate")
+	}
+	if err := CheckEnvKeys(testBlocks); err != nil {
+		t.Fatalf("CheckEnvKeys rejected distinct blocks: %v", err)
+	}
+}
+
 func TestDispatchEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("trains a model; skipped with -short")

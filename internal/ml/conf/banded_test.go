@@ -79,6 +79,120 @@ func TestBandedLookupEdges(t *testing.T) {
 	}
 }
 
+// Regression: band cuts used to land inside runs of equal predictions, so
+// a tied prediction straddling the boundary was calibrated into the upper
+// band but routed by band()'s pred <= edge to the lower one. Construction
+// must advance the cut past the tie run so lookup and construction agree.
+func TestBandedTiedPredictionsAtBoundary(t *testing.T) {
+	// 98 points at pred=1 with tiny residuals, then a run of 102 tied
+	// points at pred=2 with huge residuals that straddles the naive
+	// two-band cut at index 100. The old construction put 2 of the tied
+	// points into the low band (too few to widen its 95% quantile) and set
+	// the edge to 2.0, so lookup routed every pred=2 point to the tight
+	// low band and the band stopped covering the very residuals it was
+	// calibrated on.
+	var preds, res []float64
+	for i := 0; i < 98; i++ {
+		preds = append(preds, 1)
+		res = append(res, 0.1)
+	}
+	for i := 0; i < 102; i++ {
+		preds = append(preds, 2)
+		res = append(res, 10)
+	}
+	b, err := BandedFromResiduals(preds, res, 0.95, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := b.Validate(); err != nil {
+		t.Fatalf("constructed band fails Validate: %v", err)
+	}
+	for i := range preds {
+		truth := preds[i] + res[i]
+		if truth > b.Upper(preds[i]) || truth < b.Lower(preds[i]) {
+			t.Fatalf("calibration pair (pred=%g, res=%g) not covered: [%g, %g]",
+				preds[i], res[i], b.Lower(preds[i]), b.Upper(preds[i]))
+		}
+	}
+}
+
+// All predictions identical: the tie run spans the whole input, so the
+// bands collapse to one and no edge splits the run.
+func TestBandedAllTiedCollapsesToOneBand(t *testing.T) {
+	preds := make([]float64, 100)
+	res := make([]float64, 100)
+	for i := range preds {
+		preds[i] = 3
+		res[i] = float64(i%10) / 10
+	}
+	b, err := BandedFromResiduals(preds, res, 0.9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Bands) != 1 || len(b.Edges) != 0 {
+		t.Fatalf("got %d bands / %d edges, want 1 / 0", len(b.Bands), len(b.Edges))
+	}
+}
+
+// Property: construction/lookup agreement — for every calibration pair,
+// the band band() routes the prediction to is the band the pair was built
+// into. Tie-heavy inputs exercise the regression.
+func TestBandedConstructionLookupAgree(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 100 + rng.Intn(300)
+		preds := make([]float64, n)
+		res := make([]float64, n)
+		for i := 0; i < n; i++ {
+			// Coarse quantization forces many tied predictions.
+			preds[i] = float64(rng.Intn(6))
+			res[i] = rng.NormFloat64()
+		}
+		// At p=1 every band's half-width is the max |residual| built into
+		// it, so full coverage of the calibration data holds iff lookup
+		// routes each pair to the band it was constructed in. A tie run
+		// split by an edge sends its upper-band pairs to a tighter band
+		// and breaks this.
+		b, err := BandedFromResiduals(preds, res, 1, 4)
+		if err != nil {
+			return false
+		}
+		if b.Validate() != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			truth := preds[i] + res[i]
+			if truth > b.Upper(preds[i]) || truth < b.Lower(preds[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBandedValidate(t *testing.T) {
+	good := Banded{Edges: []float64{1, 2}, Bands: []Interval{{HalfWidth: 1}, {HalfWidth: 2}, {HalfWidth: 3}}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid band rejected: %v", err)
+	}
+	cases := map[string]Banded{
+		"no bands":       {},
+		"edge mismatch":  {Edges: []float64{1, 2}, Bands: []Interval{{}, {}}},
+		"unsorted edges": {Edges: []float64{2, 1}, Bands: []Interval{{}, {}, {}}},
+		"equal edges":    {Edges: []float64{1, 1}, Bands: []Interval{{}, {}, {}}},
+		"nan edge":       {Edges: []float64{math.NaN()}, Bands: []Interval{{}, {}}},
+		"negative width": {Edges: nil, Bands: []Interval{{HalfWidth: -1}}},
+	}
+	for name, b := range cases {
+		if err := b.Validate(); err == nil {
+			t.Fatalf("%s: accepted", name)
+		}
+	}
+}
+
 // Property: per-band coverage at level p holds on the calibration data.
 func TestBandedCoverageProperty(t *testing.T) {
 	f := func(seed int64) bool {

@@ -9,6 +9,7 @@ package conf
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"sort"
 )
@@ -89,8 +90,23 @@ func BandedFromResiduals(preds, residuals []float64, p float64, nBands int) (Ban
 	sort.Slice(pairs, func(i, j int) bool { return pairs[i].pred < pairs[j].pred })
 	b := Banded{P: p}
 	n := len(pairs)
-	for k := 0; k < nBands; k++ {
-		lo, hi := k*n/nBands, (k+1)*n/nBands
+	lo := 0
+	for k := 0; k < nBands && lo < n; k++ {
+		hi := (k + 1) * n / nBands
+		if hi <= lo {
+			hi = lo + 1
+		}
+		if k == nBands-1 {
+			hi = n
+		}
+		// Advance the cut past runs of equal predictions. band() routes a
+		// prediction with pred <= edge to the lower band, so a boundary
+		// inside a tie run would send residuals that were calibrated into
+		// the upper band to the lower one: construction and lookup must
+		// split on strict prediction increases only.
+		for hi < n && pairs[hi].pred == pairs[hi-1].pred {
+			hi++
+		}
 		band := pairs[lo:hi]
 		res := make([]float64, len(band))
 		for i, pr := range band {
@@ -101,11 +117,41 @@ func BandedFromResiduals(preds, residuals []float64, p float64, nBands int) (Ban
 			return Banded{}, err
 		}
 		b.Bands = append(b.Bands, iv)
-		if k < nBands-1 {
+		if hi < n {
 			b.Edges = append(b.Edges, pairs[hi-1].pred)
 		}
+		lo = hi
 	}
 	return b, nil
+}
+
+// Validate checks the structural invariants band() relies on: at least
+// one band, one fewer edge than bands, and strictly increasing, non-NaN
+// edges and non-negative half-widths. LoadTrained calls this on imported
+// confidence bands so a truncated or hand-edited model file fails at load
+// time instead of panicking inside the optimizer.
+func (b Banded) Validate() error {
+	if len(b.Bands) < 1 {
+		return errors.New("conf: banded interval has no bands")
+	}
+	if len(b.Edges) != len(b.Bands)-1 {
+		return fmt.Errorf("conf: banded interval has %d edges for %d bands (want %d)",
+			len(b.Edges), len(b.Bands), len(b.Bands)-1)
+	}
+	for i, e := range b.Edges {
+		if math.IsNaN(e) {
+			return fmt.Errorf("conf: band edge %d is NaN", i)
+		}
+		if i > 0 && !(b.Edges[i-1] < e) {
+			return fmt.Errorf("conf: band edges not strictly increasing (%g then %g)", b.Edges[i-1], e)
+		}
+	}
+	for i, iv := range b.Bands {
+		if math.IsNaN(iv.HalfWidth) || iv.HalfWidth < 0 {
+			return fmt.Errorf("conf: band %d has invalid half-width %g", i, iv.HalfWidth)
+		}
+	}
+	return nil
 }
 
 // band returns the interval whose prediction range contains pred.

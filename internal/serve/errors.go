@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+)
+
+// The serving layer's error taxonomy. Every failure a dispatch request
+// can hit is classified into one of these sentinels (wrapped with
+// detail), so HTTP status mapping, metrics and client handling stay
+// mechanical. The contract:
+//
+//   - ErrBadRequest: the request itself is malformed — wrong shape,
+//     missing fields, negative budget. Retrying unchanged cannot succeed.
+//   - ErrModelUnavailable: the model file is missing, unreadable or fails
+//     validation and no last-good model is cached. Retrying may succeed
+//     once the model store heals; non-strict requests degrade to the
+//     all-accurate schedule instead of surfacing this.
+//   - ErrOptimize: the models loaded but optimization or schedule
+//     encoding failed (unknown parameters, colliding block names).
+var (
+	ErrBadRequest       = errors.New("serve: bad request")
+	ErrModelUnavailable = errors.New("serve: model unavailable")
+	ErrOptimize         = errors.New("serve: optimization failed")
+)
+
+// errCode is the machine-readable code clients switch on.
+func errCode(err error) string {
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		return "bad_request"
+	case errors.Is(err, ErrModelUnavailable):
+		return "model_unavailable"
+	case errors.Is(err, ErrOptimize):
+		return "optimize_failed"
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return "timeout"
+	default:
+		return "internal"
+	}
+}
+
+// httpStatus maps the taxonomy onto HTTP statuses.
+func httpStatus(err error) int {
+	switch {
+	case errors.Is(err, ErrBadRequest):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrModelUnavailable):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, ErrOptimize):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusInternalServerError
+	}
+}

@@ -1,0 +1,298 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"opprox/internal/apps"
+	"opprox/internal/apps/pso"
+	"opprox/internal/core"
+)
+
+// trainedModelJSON trains one small model set and returns its serialized
+// form; cached across tests because training dominates test wall time.
+var trainedModelOnce sync.Once
+var trainedModelBytes []byte
+
+func trainedModelJSON(t *testing.T) []byte {
+	t.Helper()
+	trainedModelOnce.Do(func() {
+		opts := core.DefaultOptions()
+		opts.Phases = 2
+		opts.JointSamplesPerPhase = 6
+		opts.MaxParamCombos = 3
+		opts.Folds = 5
+		tr, err := core.Train(apps.NewRunner(pso.New()), opts)
+		if err != nil {
+			panic(err)
+		}
+		var buf bytes.Buffer
+		if err := tr.Save(&buf); err != nil {
+			panic(err)
+		}
+		trainedModelBytes = buf.Bytes()
+	})
+	return trainedModelBytes
+}
+
+// fakeStore is a Store over an in-memory map with a programmable
+// per-open failure sequence.
+type fakeStore struct {
+	mu    sync.Mutex
+	files map[string][]byte
+	// failures[name] errors are returned by successive Opens before the
+	// content is served.
+	failures map[string][]error
+	opens    atomic.Int32
+}
+
+func newFakeStore() *fakeStore {
+	return &fakeStore{files: map[string][]byte{}, failures: map[string][]error{}}
+}
+
+func (s *fakeStore) Open(name string) (io.ReadCloser, error) {
+	s.opens.Add(1)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if q := s.failures[name]; len(q) > 0 {
+		err := q[0]
+		s.failures[name] = q[1:]
+		return nil, err
+	}
+	b, ok := s.files[name]
+	if !ok {
+		return nil, fmt.Errorf("fake: %q: %w", name, fs.ErrNotExist)
+	}
+	return io.NopCloser(bytes.NewReader(b)), nil
+}
+
+// instantSleep replaces the registry's backoff sleeper so retry tests
+// don't wait.
+func instantSleep(r *Registry) {
+	r.sleep = func(ctx context.Context, d time.Duration) error { return ctx.Err() }
+}
+
+func TestRegistryLoadsOnceAndCaches(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model; skipped with -short")
+	}
+	store := newFakeStore()
+	store.files["pso.json"] = trainedModelJSON(t)
+	reg := NewRegistry(store, RegistryOptions{})
+
+	const workers = 16
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr, err := reg.Get(context.Background(), "pso.json")
+			if err != nil {
+				t.Error(err)
+			} else if tr == nil || tr.Phases != 2 {
+				t.Errorf("bad model: %+v", tr)
+			}
+		}()
+	}
+	wg.Wait()
+	if n := store.opens.Load(); n != 1 {
+		t.Fatalf("store opened %d times for %d concurrent gets, want 1", n, workers)
+	}
+	if got := reg.Models(); len(got) != 1 || got[0] != "pso.json" {
+		t.Fatalf("Models = %v", got)
+	}
+}
+
+func TestRegistryRetriesTransientErrors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model; skipped with -short")
+	}
+	store := newFakeStore()
+	store.files["pso.json"] = trainedModelJSON(t)
+	store.failures["pso.json"] = []error{
+		errors.New("transient: connection reset"),
+		errors.New("transient: io timeout"),
+	}
+	reg := NewRegistry(store, RegistryOptions{Retries: 2})
+	instantSleep(reg)
+
+	if _, err := reg.Get(context.Background(), "pso.json"); err != nil {
+		t.Fatalf("expected retries to recover, got %v", err)
+	}
+	if n := store.opens.Load(); n != 3 {
+		t.Fatalf("store opened %d times, want 3 (2 failures + success)", n)
+	}
+}
+
+func TestRegistryRetriesExhausted(t *testing.T) {
+	store := newFakeStore()
+	store.failures["m.json"] = []error{
+		errors.New("transient 1"), errors.New("transient 2"), errors.New("transient 3"),
+	}
+	reg := NewRegistry(store, RegistryOptions{Retries: 1})
+	instantSleep(reg)
+
+	_, err := reg.Get(context.Background(), "m.json")
+	if !errors.Is(err, ErrModelUnavailable) {
+		t.Fatalf("exhausted retries should classify as ErrModelUnavailable, got %v", err)
+	}
+	if n := store.opens.Load(); n != 2 {
+		t.Fatalf("store opened %d times, want 2 (first + 1 retry)", n)
+	}
+}
+
+func TestRegistryMissingModelNoRetry(t *testing.T) {
+	store := newFakeStore()
+	reg := NewRegistry(store, RegistryOptions{Retries: 5})
+	instantSleep(reg)
+
+	_, err := reg.Get(context.Background(), "missing.json")
+	if !errors.Is(err, ErrModelUnavailable) {
+		t.Fatalf("got %v, want ErrModelUnavailable", err)
+	}
+	if n := store.opens.Load(); n != 1 {
+		t.Fatalf("store opened %d times for a missing model, want 1 (no retry)", n)
+	}
+	if reg.Len() != 0 {
+		t.Fatal("failed load left a cache entry")
+	}
+}
+
+func TestRegistryCorruptModelNoRetryNoPanic(t *testing.T) {
+	store := newFakeStore()
+	store.files["bad.json"] = []byte(`{"version": 1, "phases":`)
+	reg := NewRegistry(store, RegistryOptions{Retries: 3})
+	instantSleep(reg)
+
+	_, err := reg.Get(context.Background(), "bad.json")
+	if !errors.Is(err, ErrModelUnavailable) {
+		t.Fatalf("got %v, want ErrModelUnavailable", err)
+	}
+	if n := store.opens.Load(); n != 1 {
+		t.Fatalf("store opened %d times for a corrupt model, want 1 (validation is permanent)", n)
+	}
+}
+
+func TestRegistryErrorNotCached(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model; skipped with -short")
+	}
+	store := newFakeStore()
+	reg := NewRegistry(store, RegistryOptions{})
+
+	if _, err := reg.Get(context.Background(), "late.json"); !errors.Is(err, ErrModelUnavailable) {
+		t.Fatalf("got %v, want ErrModelUnavailable", err)
+	}
+	// The model is published after the first failure; the next request
+	// must see it rather than a cached error.
+	store.mu.Lock()
+	store.files["late.json"] = trainedModelJSON(t)
+	store.mu.Unlock()
+	if _, err := reg.Get(context.Background(), "late.json"); err != nil {
+		t.Fatalf("store healed but Get still fails: %v", err)
+	}
+}
+
+func TestRegistryReloadFallsBackToLastGood(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model; skipped with -short")
+	}
+	store := newFakeStore()
+	store.files["pso.json"] = trainedModelJSON(t)
+	reg := NewRegistry(store, RegistryOptions{})
+	instantSleep(reg)
+
+	good, err := reg.Get(context.Background(), "pso.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A bad publish lands: reload must fail but keep serving last-good.
+	store.mu.Lock()
+	store.files["pso.json"] = []byte(`{"version": 99}`)
+	store.mu.Unlock()
+	if err := reg.Reload(context.Background(), "pso.json"); err == nil {
+		t.Fatal("reload of a corrupt file reported success")
+	}
+	cur, err := reg.Get(context.Background(), "pso.json")
+	if err != nil {
+		t.Fatalf("last-good model lost after failed reload: %v", err)
+	}
+	if cur != good {
+		t.Fatal("failed reload swapped the model set")
+	}
+
+	// The good publish returns: reload must atomically install it.
+	store.mu.Lock()
+	store.files["pso.json"] = trainedModelJSON(t)
+	store.mu.Unlock()
+	if err := reg.Reload(context.Background(), "pso.json"); err != nil {
+		t.Fatal(err)
+	}
+	cur2, err := reg.Get(context.Background(), "pso.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cur2 == good {
+		t.Fatal("successful reload did not swap the model set")
+	}
+}
+
+func TestRegistryContextCancellation(t *testing.T) {
+	store := newFakeStore()
+	store.failures["m.json"] = []error{errors.New("transient")}
+	reg := NewRegistry(store, RegistryOptions{Retries: 3, RetryBase: time.Hour})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := reg.Get(ctx, "m.json")
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled (backoff must respect ctx)", err)
+	}
+}
+
+func TestFileStoreConfinesToRoot(t *testing.T) {
+	root := t.TempDir()
+	inside := filepath.Join(root, "ok.json")
+	if err := os.WriteFile(inside, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outside := filepath.Join(filepath.Dir(root), "secret.json")
+	if err := os.WriteFile(outside, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Remove(outside)
+
+	store := FileStore{Root: root}
+	if rc, err := store.Open("ok.json"); err != nil {
+		t.Fatalf("in-root open failed: %v", err)
+	} else {
+		rc.Close()
+	}
+	for _, name := range []string{"../secret.json", "sub/../../secret.json"} {
+		if rc, err := store.Open(name); err == nil {
+			rc.Close()
+			t.Fatalf("traversal %q escaped the store root", name)
+		} else if !strings.Contains(err.Error(), "escapes") {
+			// A cleaned path that stays inside the root is fine; one that
+			// reaches the sibling file is not. Both names above resolve
+			// outside root, so the rejection must be the containment check.
+			t.Fatalf("traversal %q rejected for the wrong reason: %v", name, err)
+		}
+	}
+	// Missing files keep their fs.ErrNotExist classification.
+	if _, err := store.Open("absent.json"); !errors.Is(err, fs.ErrNotExist) {
+		t.Fatalf("missing file error = %v, want fs.ErrNotExist", err)
+	}
+}

@@ -1,0 +1,305 @@
+// Package serve is the long-running half of the paper's deployment flow
+// (§4.2): where cmd/opprox-launch is the one-shot "runtime script" that
+// loads models and prints environment assignments for a single job,
+// opprox-serve keeps the models resident and answers dispatch requests
+// over HTTP/JSON.
+//
+// The serving contract, in order of importance:
+//
+//  1. Never corrupt a job. Malformed requests, missing models and
+//     corrupt model files produce classified errors or an explicitly
+//     degraded all-accurate schedule — never a panic, never a silently
+//     wrong schedule (the launch-layer env-key collision check and the
+//     persist-layer band validation run on every load).
+//  2. Degrade, don't fail. When the models for a job cannot be loaded,
+//     a non-strict dispatch returns the all-accurate schedule (speedup
+//     1, degradation 0) with "degraded": true, so the job still runs —
+//     exactly, just without approximation. Strict requests surface the
+//     error instead.
+//  3. Stay deterministic. For a given (model file, params, budget) the
+//     response body is byte-identical across requests, concurrent
+//     clients and server restarts. Anything that varies run to run
+//     (optimization wall time, cache state) is excluded from response
+//     bodies and reported through /metricsz instead.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"opprox/internal/launch"
+	"opprox/internal/obs"
+)
+
+// DefaultTimeout bounds one dispatch request end to end (model load,
+// including retries, plus optimization).
+const DefaultTimeout = 10 * time.Second
+
+// maxRequestBytes bounds a request body; job configurations are small.
+const maxRequestBytes = 1 << 20
+
+// Options configures a Server.
+type Options struct {
+	// Store is where model files are read from.
+	Store Store
+	// Timeout is the per-request budget (default DefaultTimeout).
+	Timeout time.Duration
+	// Registry tunes model loading (retry count, backoff base).
+	Registry RegistryOptions
+}
+
+// Server answers dispatch requests against a model registry. Create with
+// New; serve its Handler.
+type Server struct {
+	reg     *Registry
+	timeout time.Duration
+}
+
+// New builds a Server over a model store.
+func New(opts Options) *Server {
+	if opts.Timeout <= 0 {
+		opts.Timeout = DefaultTimeout
+	}
+	if opts.Store == nil {
+		opts.Store = FileStore{}
+	}
+	return &Server{
+		reg:     NewRegistry(opts.Store, opts.Registry),
+		timeout: opts.Timeout,
+	}
+}
+
+// Registry exposes the model registry (tests and the reload endpoint).
+func (s *Server) Registry() *Registry { return s.reg }
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/dispatch  one job dispatch (DispatchRequest -> DispatchResponse)
+//	POST /v1/reload    hot-reload cached models, last-good on failure
+//	GET  /healthz      liveness + cached-model count
+//	GET  /metricsz     obs.Default JSON snapshot
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/dispatch", s.handleDispatch)
+	mux.HandleFunc("/v1/reload", s.handleReload)
+	mux.HandleFunc("/healthz", s.handleHealth)
+	mux.HandleFunc("/metricsz", s.handleMetrics)
+	return mux
+}
+
+// DispatchRequest is the body of POST /v1/dispatch. It embeds the job
+// configuration file format (launch.JobConfig) unchanged — "model_path"
+// names a file inside the server's store — plus serving-only fields.
+type DispatchRequest struct {
+	launch.JobConfig
+	// Strict surfaces model-unavailable errors instead of degrading to
+	// the all-accurate schedule.
+	Strict bool `json:"strict,omitempty"`
+}
+
+// DispatchResponse is the body of a successful dispatch. It contains no
+// wall-clock or cache-state fields: the same (model file, params,
+// budget) must produce byte-identical bodies on every request.
+type DispatchResponse struct {
+	App    string  `json:"app"`
+	Budget float64 `json:"budget"`
+	// Phases and Levels are the chosen schedule; Levels[p][b] is block
+	// b's approximation level during phase p.
+	Phases int     `json:"phases"`
+	Levels [][]int `json:"levels"`
+	// Env is the schedule rendered as the environment assignments the
+	// job should be launched with.
+	Env []string `json:"env"`
+	// Speedup and Degradation are the model's conservative predictions
+	// (1 and 0 on the degraded path: the job runs exactly).
+	Speedup     float64 `json:"predicted_speedup"`
+	Degradation float64 `json:"predicted_degradation"`
+	// Degraded marks an all-accurate fallback schedule returned because
+	// the models were unavailable; Reason says why.
+	Degraded bool   `json:"degraded"`
+	Reason   string `json:"degraded_reason,omitempty"`
+}
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error  string `json:"error"`
+	Detail string `json:"detail"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"internal","detail":"encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(append(b, '\n'))
+}
+
+func writeError(w http.ResponseWriter, err error) {
+	obs.Inc("serve.http.error." + errCode(err))
+	writeJSON(w, httpStatus(err), errorBody{Error: errCode(err), Detail: err.Error()})
+}
+
+func (s *Server) handleDispatch(w http.ResponseWriter, req *http.Request) {
+	done := obs.Timer("serve.http.dispatch")
+	defer done()
+	obs.Inc("serve.dispatch.requests")
+	if req.Method != http.MethodPost {
+		writeError(w, fmt.Errorf("%w: %s not allowed on /v1/dispatch", ErrBadRequest, req.Method))
+		return
+	}
+	var dreq DispatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&dreq); err != nil {
+		writeError(w, fmt.Errorf("%w: decoding body: %v", ErrBadRequest, err))
+		return
+	}
+	if err := dreq.Validate(); err != nil {
+		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(req.Context(), s.timeout)
+	defer cancel()
+	resp, err := s.dispatch(ctx, &dreq)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if resp.Degraded {
+		obs.Inc("serve.dispatch.degraded")
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// dispatch runs one request under its context: the optimizer is not
+// context-aware, so the work runs in a goroutine and the request gives
+// up (504) when the deadline fires first. The goroutine finishes its
+// (bounded) optimization and parks its result in the buffered channel.
+func (s *Server) dispatch(ctx context.Context, dreq *DispatchRequest) (*DispatchResponse, error) {
+	type result struct {
+		resp *DispatchResponse
+		err  error
+	}
+	ch := make(chan result, 1)
+	go func() {
+		resp, err := s.dispatchSync(ctx, dreq)
+		ch <- result{resp, err}
+	}()
+	select {
+	case r := <-ch:
+		return r.resp, r.err
+	case <-ctx.Done():
+		obs.Inc("serve.dispatch.timeout")
+		return nil, ctx.Err()
+	}
+}
+
+func (s *Server) dispatchSync(ctx context.Context, dreq *DispatchRequest) (*DispatchResponse, error) {
+	tr, err := s.reg.Get(ctx, dreq.ModelPath)
+	if err != nil {
+		if dreq.Strict || !errors.Is(err, ErrModelUnavailable) {
+			return nil, err
+		}
+		// Degradation contract: the job still launches, with the
+		// all-accurate schedule. OPPROX_PHASES=1 and no per-block
+		// variables decodes (launch.DecodeEnv) to level 0 everywhere for
+		// any block set, so the fallback needs no model knowledge.
+		return &DispatchResponse{
+			App:      dreq.App,
+			Budget:   dreq.Budget,
+			Phases:   1,
+			Levels:   [][]int{{}},
+			Env:      []string{"OPPROX_PHASES=1"},
+			Speedup:  1,
+			Degraded: true,
+			Reason:   err.Error(),
+		}, nil
+	}
+	plan, err := launch.DispatchTrained(&dreq.JobConfig, tr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrOptimize, err)
+	}
+	levels := make([][]int, plan.Schedule.Phases)
+	for ph, cfg := range plan.Schedule.Levels {
+		levels[ph] = append([]int{}, cfg...)
+	}
+	return &DispatchResponse{
+		App:         dreq.App,
+		Budget:      dreq.Budget,
+		Phases:      plan.Schedule.Phases,
+		Levels:      levels,
+		Env:         plan.Env,
+		Speedup:     plan.Pred.Speedup,
+		Degradation: plan.Pred.Degradation,
+	}, nil
+}
+
+// reloadRequest is the body of POST /v1/reload. An empty body (or empty
+// model) reloads every cached model.
+type reloadRequest struct {
+	Model string `json:"model,omitempty"`
+}
+
+// reloadResponse reports per-model reload outcomes. Failed models keep
+// serving their last-good set.
+type reloadResponse struct {
+	Reloaded []string          `json:"reloaded"`
+	Failed   map[string]string `json:"failed,omitempty"`
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		writeError(w, fmt.Errorf("%w: %s not allowed on /v1/reload", ErrBadRequest, req.Method))
+		return
+	}
+	var rreq reloadRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rreq); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, fmt.Errorf("%w: decoding body: %v", ErrBadRequest, err))
+		return
+	}
+	names := s.reg.Models()
+	if rreq.Model != "" {
+		names = []string{rreq.Model}
+	}
+	ctx, cancel := context.WithTimeout(req.Context(), s.timeout)
+	defer cancel()
+	resp := reloadResponse{Reloaded: []string{}}
+	for _, name := range names {
+		if err := s.reg.Reload(ctx, name); err != nil {
+			if resp.Failed == nil {
+				resp.Failed = map[string]string{}
+			}
+			resp.Failed[name] = err.Error()
+			continue
+		}
+		resp.Reloaded = append(resp.Reloaded, name)
+	}
+	sort.Strings(resp.Reloaded)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, req *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok",
+		"models": s.reg.Len(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := obs.Default.WriteJSON(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

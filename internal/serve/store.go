@@ -1,0 +1,40 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Store abstracts where model files live. The registry only ever reads;
+// publishing new models is the trainer's job (write to a temp file, then
+// rename — the registry's hot reload picks the swap up atomically).
+type Store interface {
+	// Open returns the named model file's contents. Implementations
+	// should return fs.ErrNotExist-wrapping errors for missing models so
+	// the registry can classify them as permanent rather than retrying.
+	Open(name string) (io.ReadCloser, error)
+}
+
+// FileStore serves model files from the local filesystem. With a Root it
+// confines every name inside that directory — path traversal out of the
+// model directory is rejected, not resolved.
+type FileStore struct {
+	// Root is the model directory; empty means names are used verbatim.
+	Root string
+}
+
+// Open implements Store.
+func (s FileStore) Open(name string) (io.ReadCloser, error) {
+	path := name
+	if s.Root != "" {
+		// Reject rather than resolve: a name with "..", an absolute path
+		// or an empty name never silently maps to some in-root file.
+		if !filepath.IsLocal(name) {
+			return nil, fmt.Errorf("serve: model name %q escapes the store root", name)
+		}
+		path = filepath.Join(s.Root, name)
+	}
+	return os.Open(path)
+}

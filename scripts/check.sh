@@ -31,6 +31,11 @@ go build ./...
 echo "== go test -race =="
 go test -race ./...
 
+echo "== opprox-serve smoke =="
+# Build the server, start it on an ephemeral port, run one dispatch and
+# one degraded dispatch, shut down cleanly.
+sh scripts/serve-smoke.sh
+
 # Opt-in perf gate: BENCH=1 re-runs the kernel benchmark set and fails on
 # a >20% ns/op regression against the committed trajectory file. Off by
 # default because benchmark wall time dwarfs the rest of the gate and

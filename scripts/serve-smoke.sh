@@ -1,0 +1,74 @@
+#!/bin/sh
+# opprox-serve smoke: build the binaries, train a small model set, start
+# the server on an ephemeral port, exercise one healthy dispatch and one
+# degraded dispatch (missing model file), check /healthz, then shut down
+# cleanly with SIGTERM. Everything runs out of a throwaway directory.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmp=$(mktemp -d)
+pid=""
+cleanup() {
+    if [ -n "$pid" ]; then kill "$pid" 2>/dev/null || true; fi
+    rm -rf "$tmp"
+}
+trap cleanup EXIT INT TERM
+
+go build -o "$tmp/opprox" ./cmd/opprox
+go build -o "$tmp/opprox-serve" ./cmd/opprox-serve
+
+mkdir "$tmp/models"
+"$tmp/opprox" -app pso -phases 2 -budget 10 -save "$tmp/models/pso.json" >/dev/null
+
+"$tmp/opprox-serve" -addr 127.0.0.1:0 -models "$tmp/models" 2>"$tmp/serve.log" &
+pid=$!
+
+# The server prints its ephemeral address on the "listening on" line.
+addr=""
+i=0
+while [ $i -lt 100 ]; do
+    addr=$(sed -n 's|.*listening on http://\([^ ]*\).*|\1|p' "$tmp/serve.log")
+    if [ -n "$addr" ]; then break; fi
+    if ! kill -0 "$pid" 2>/dev/null; then
+        echo "serve-smoke: server died during startup:" >&2
+        cat "$tmp/serve.log" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    sleep 0.1
+done
+if [ -z "$addr" ]; then
+    echo "serve-smoke: server never reported its address" >&2
+    cat "$tmp/serve.log" >&2
+    exit 1
+fi
+
+echo "serve-smoke: server on $addr"
+
+curl -sf "http://$addr/healthz" | grep -q '"status":"ok"' || {
+    echo "serve-smoke: healthz failed" >&2; exit 1; }
+
+body='{"app": "pso", "budget": 10, "model_path": "pso.json"}'
+resp=$(curl -sf -X POST -H 'Content-Type: application/json' -d "$body" "http://$addr/v1/dispatch")
+echo "$resp" | grep -q '"degraded":false' || {
+    echo "serve-smoke: healthy dispatch degraded or failed: $resp" >&2; exit 1; }
+echo "$resp" | grep -q 'OPPROX_PHASES=2' || {
+    echo "serve-smoke: dispatch env missing phase count: $resp" >&2; exit 1; }
+
+body='{"app": "pso", "budget": 10, "model_path": "no-such-model.json"}'
+resp=$(curl -sf -X POST -H 'Content-Type: application/json' -d "$body" "http://$addr/v1/dispatch")
+echo "$resp" | grep -q '"degraded":true' || {
+    echo "serve-smoke: missing model did not degrade: $resp" >&2; exit 1; }
+echo "$resp" | grep -q '"predicted_speedup":1' || {
+    echo "serve-smoke: degraded dispatch is not the all-accurate schedule: $resp" >&2; exit 1; }
+
+kill -TERM "$pid"
+if ! wait "$pid"; then
+    echo "serve-smoke: server exited non-zero on SIGTERM" >&2
+    cat "$tmp/serve.log" >&2
+    exit 1
+fi
+pid=""
+
+echo "serve-smoke: ok (1 dispatch, 1 degraded dispatch, clean shutdown)"
