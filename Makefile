@@ -1,6 +1,6 @@
 # Convenience wrappers; scripts/check.sh is the tier-1 gate CI runs.
 
-.PHONY: build test check bench vet vet-json serve serve-smoke
+.PHONY: build test check bench vet vet-json serve serve-smoke pilot-demo
 
 build:
 	go build ./...
@@ -30,6 +30,12 @@ serve:
 # shutdown.
 serve-smoke:
 	sh scripts/serve-smoke.sh
+
+# pilot-demo replays the closed serving loop end to end: train a small
+# video-pipeline model, serve it, inject input drift through /v1/feedback
+# and watch detection -> shadow -> promotion -> rollback.
+pilot-demo:
+	go run ./cmd/opprox-pilot
 
 # vet runs the determinism/concurrency analyzers (internal/analysis) over
 # the module and fails on any unsuppressed finding at or above warning.

@@ -49,6 +49,7 @@ var defaultPackages = []string{
 	"./internal/ml/mic",
 	"./internal/ml/tree",
 	"./internal/core",
+	"./internal/feedback",
 }
 
 // Result is one benchmark measurement.

@@ -10,6 +10,10 @@
 // Endpoints:
 //
 //	POST /v1/dispatch  {"app": "pso", "budget": 10, "model_path": "pso.json"}
+//	POST /v1/feedback  {"dispatch_id": "...", "observations": [...]}
+//	GET  /v1/models    lifecycle view: versions, drift health, shadows
+//	POST /v1/promote   {"model": "pso.json"}
+//	POST /v1/rollback  {"model": "pso.json"}
 //	POST /v1/reload    {"model": "pso.json"}  (empty body reloads all)
 //	GET  /healthz
 //	GET  /metricsz
@@ -20,6 +24,15 @@
 // "degraded": true unless the request sets "strict": true. Pass -addr
 // with port 0 to bind an ephemeral port; the chosen address is printed
 // on the "listening on" line.
+//
+// The closed loop: each dispatch response carries a "dispatch_id";
+// clients report realized per-phase QoS back on /v1/feedback. A drift
+// detector (band exceedances + CUSUM, see -drift-* flags) flips models
+// healthy -> drifting -> stale; on drifting the server recalibrates into
+// a shadow version served in dark-launch mode and auto-promotes it when
+// its realized error beats the live version's. Shadow and promoted
+// versions are persisted into -models atomically; -feedback-log appends
+// every accepted observation as JSONL.
 package main
 
 import (
@@ -35,6 +48,8 @@ import (
 	"syscall"
 	"time"
 
+	"opprox/internal/feedback"
+	"opprox/internal/lifecycle"
 	"opprox/internal/obs"
 	"opprox/internal/serve"
 )
@@ -49,7 +64,28 @@ func main() {
 	retries := flag.Int("retries", 2, "extra attempts for transient model-store reads")
 	retryBase := flag.Duration("retry-base", 25*time.Millisecond, "first retry backoff (doubles per attempt)")
 	metrics := flag.String("metrics", "", "write a JSON metrics snapshot to this file on shutdown")
+	feedbackLog := flag.String("feedback-log", "", "append accepted feedback observations to this JSONL file (fsync per entry)")
+	driftWindow := flag.Int("drift-window", 0, "per-phase feedback window for drift detection (0: default)")
+	driftMinSamples := flag.Int("drift-min-samples", 0, "samples required before exceedance drift can fire (0: default)")
+	driftExceed := flag.Float64("drift-exceed", 0, "band-exceedance fraction that flags drift (0: default)")
+	cusumSlack := flag.Float64("cusum-slack", 0, "CUSUM slack on log-residuals (0: default)")
+	cusumThreshold := flag.Float64("cusum-threshold", 0, "CUSUM alarm threshold (0: default)")
+	staleAfter := flag.Int("stale-after", 0, "drifting reports before a model is declared stale (0: default)")
+	errWindow := flag.Int("err-window", 0, "realized-error window for the live-vs-shadow comparison (0: default)")
+	shadowSamples := flag.Int("shadow-samples", 0, "error samples required before auto-promotion (0: default)")
+	autoPromote := flag.Bool("auto-promote", true, "promote a shadow automatically once it beats the live version")
+	autoRecal := flag.Bool("auto-recalibrate", true, "dark-launch a recalibrated shadow when a model drifts")
 	flag.Parse()
+
+	var flog *feedback.Log
+	if *feedbackLog != "" {
+		var err error
+		flog, err = feedback.OpenLog(*feedbackLog, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer flog.Close()
+	}
 
 	srv := serve.New(serve.Options{
 		Store:   serve.FileStore{Root: *models},
@@ -58,6 +94,21 @@ func main() {
 			Retries:   *retries,
 			RetryBase: *retryBase,
 		},
+		Drift: feedback.Options{
+			Window:         *driftWindow,
+			MinSamples:     *driftMinSamples,
+			MaxExceedFrac:  *driftExceed,
+			CUSUMSlack:     *cusumSlack,
+			CUSUMThreshold: *cusumThreshold,
+			StaleAfter:     *staleAfter,
+		},
+		Lifecycle: lifecycle.Options{
+			ErrWindow:          *errWindow,
+			MinShadowSamples:   *shadowSamples,
+			DisableAutoPromote: !*autoPromote,
+		},
+		FeedbackLog:            flog,
+		DisableAutoRecalibrate: !*autoRecal,
 	})
 
 	ln, err := net.Listen("tcp", *addr)

@@ -79,6 +79,39 @@ func (t *Trained) CalibrateCanary(runner *apps.Runner, p apps.Params, probesPerP
 // ClearCalibration removes a previously installed canary calibration.
 func (t *Trained) ClearCalibration() { t.calib = nil }
 
+// SetCalibration installs per-phase log-scale correction shifts directly —
+// the same correction CalibrateCanary measures with probe runs, for
+// callers that obtain the residuals elsewhere. The serving feedback loop
+// uses it to recalibrate a drifting model from realized production
+// feedback instead of fresh probe runs: the median log-residual of the
+// feedback window is exactly the canary shift, measured for free.
+func (t *Trained) SetCalibration(spd, deg []float64) error {
+	if len(spd) != t.Phases || len(deg) != t.Phases {
+		return fmt.Errorf("core: calibration shifts for %d/%d phases, model has %d",
+			len(spd), len(deg), t.Phases)
+	}
+	for ph := 0; ph < t.Phases; ph++ {
+		if math.IsNaN(spd[ph]) || math.IsInf(spd[ph], 0) || math.IsNaN(deg[ph]) || math.IsInf(deg[ph], 0) {
+			return fmt.Errorf("core: calibration shift for phase %d is not finite", ph)
+		}
+	}
+	t.calib = &canaryShift{
+		spd: append([]float64(nil), spd...),
+		deg: append([]float64(nil), deg...),
+	}
+	return nil
+}
+
+// CalibrationShifts returns copies of the installed per-phase shifts
+// (speedup log scale, degradation log1p scale), or ok=false when the
+// models are uncalibrated.
+func (t *Trained) CalibrationShifts() (spd, deg []float64, ok bool) {
+	if t.calib == nil {
+		return nil, nil, false
+	}
+	return append([]float64(nil), t.calib.spd...), append([]float64(nil), t.calib.deg...), true
+}
+
 func median(v []float64) float64 {
 	if len(v) == 0 {
 		return 0

@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+
+	"opprox/internal/approx"
+	"opprox/internal/apps"
+	"opprox/internal/ml/conf"
+)
+
+// PhaseDiag is the model-side context a served dispatch carries for one
+// phase so that realized feedback can later be judged against it: the raw
+// (log-scale, calibrated, unclamped) predictions of the two global models
+// and the confidence band each prediction falls in. Residuals computed on
+// these scales are exactly the quantity the bands were calibrated on, so
+// "realized value outside the band" is a like-for-like exceedance test.
+type PhaseDiag struct {
+	// SpeedupRaw is the global speedup model's prediction on its log
+	// scale; DegRaw is the degradation model's on its log1p scale.
+	SpeedupRaw float64
+	DegRaw     float64
+	// SpeedupBand and DegBand are the confidence intervals at those
+	// predictions (banded lookup, paper §3.6).
+	SpeedupBand conf.Interval
+	DegBand     conf.Interval
+}
+
+// DiagnosePhase returns the raw predictions and confidence bands for one
+// phase of a schedule. The serving layer records this per dispatched
+// phase; the feedback path turns (diag, realized value) into band
+// exceedances and log-residuals for the drift detector.
+func (t *Trained) DiagnosePhase(p apps.Params, phase int, cfg approx.Config) (PhaseDiag, error) {
+	if err := cfg.Validate(t.Blocks); err != nil {
+		return PhaseDiag{}, err
+	}
+	if phase < 0 || phase >= t.Phases {
+		return PhaseDiag{}, fmt.Errorf("core: phase %d out of range [0,%d)", phase, t.Phases)
+	}
+	pv := p.Vector(t.Specs)
+	cm, err := t.classFor(pv)
+	if err != nil {
+		return PhaseDiag{}, err
+	}
+	pm := cm.Phase[phase]
+	sRaw, dRaw := pm.rawPredict(t, pv, cfg)
+	return PhaseDiag{
+		SpeedupRaw:  sRaw,
+		DegRaw:      dRaw,
+		SpeedupBand: pm.SpeedupCI.Band(sRaw),
+		DegBand:     pm.DegCI.Band(dRaw),
+	}, nil
+}
+
+// SpeedupScale and DegradationScale expose the transformations the global
+// models are fitted on, so feedback producers can put realized values on
+// the same scale as PhaseDiag's raw predictions.
+func SpeedupScale(speedup float64) float64     { return scaleLog.to(speedup) }
+func DegradationScale(deg float64) float64     { return scaleLog1p.to(deg) }
+func SpeedupFromScale(raw float64) float64     { return scaleLog.from(raw) }
+func DegradationFromScale(raw float64) float64 { return scaleLog1p.from(raw) }

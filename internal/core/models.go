@@ -646,10 +646,13 @@ func (t *Trained) rawFeaturesInto(dst, paramVec []float64, cfg approx.Config) []
 	return dst
 }
 
-// predictConfig predicts (speedup, degradation) for one configuration in
-// this phase. The confidence band is applied on the models' log scale —
-// pessimistic edge in both cases (paper §3.6).
-func (pm *PhaseModel) predictConfig(t *Trained, paramVec []float64, cfg approx.Config, conservative bool) (speedup, deg float64) {
+// rawPredict evaluates the two global models for one configuration in
+// this phase on their (log) training scales, with the canary-calibration
+// shift applied but no confidence band and no clamping. predictConfig
+// builds on it for the optimizer; Trained.DiagnosePhase exposes it to the
+// serving feedback loop, whose drift detector compares realized values
+// against the same raw predictions the confidence bands are keyed on.
+func (pm *PhaseModel) rawPredict(t *Trained, paramVec []float64, cfg approx.Config) (sRaw, dRaw float64) {
 	// Optimizer hot path: every scratch vector — both global feature rows,
 	// the per-block local-model input, and the iteration features — is
 	// carved from one arena buffer. Nothing below retains them.
@@ -663,13 +666,21 @@ func (pm *PhaseModel) predictConfig(t *Trained, paramVec []float64, cfg approx.C
 	sf, df := pm.globalFeaturesInto(t, paramVec, cfg,
 		buf[0:0:w], buf[w:w:2*w],
 		buf[2*w:2*w:2*w+np+1], buf[2*w+np+1:2*w+np+1:len(buf)-prsLen], prs)
-	sRaw := pm.globalSpeedup.predictRawScratch(sf, prs)
-	dRaw := pm.globalDeg.predictRawScratch(df, prs)
+	sRaw = pm.globalSpeedup.predictRawScratch(sf, prs)
+	dRaw = pm.globalDeg.predictRawScratch(df, prs)
 	if t.calib != nil && pm.Phase < len(t.calib.spd) {
 		// Canary calibration: per-phase log-scale bias correction.
 		sRaw += t.calib.spd[pm.Phase]
 		dRaw += t.calib.deg[pm.Phase]
 	}
+	return sRaw, dRaw
+}
+
+// predictConfig predicts (speedup, degradation) for one configuration in
+// this phase. The confidence band is applied on the models' log scale —
+// pessimistic edge in both cases (paper §3.6).
+func (pm *PhaseModel) predictConfig(t *Trained, paramVec []float64, cfg approx.Config, conservative bool) (speedup, deg float64) {
+	sRaw, dRaw := pm.rawPredict(t, paramVec, cfg)
 	if conservative {
 		sRaw = pm.SpeedupCI.Lower(sRaw)
 		dRaw = pm.DegCI.Upper(dRaw)

@@ -108,6 +108,15 @@ type classDTO struct {
 	Phase  []phaseDTO `json:"phases"`
 }
 
+// calibDTO persists the optional canary/feedback calibration shifts.
+// Older builds reject files that carry it (DisallowUnknownFields), which
+// is the correct failure mode: silently dropping a correction would serve
+// the uncalibrated predictions under a calibrated model's name.
+type calibDTO struct {
+	Speedup     []float64 `json:"speedup"`
+	Degradation []float64 `json:"degradation"`
+}
+
 type modelFile struct {
 	Version     int                 `json:"version"`
 	Opts        Options             `json:"options"`
@@ -116,6 +125,7 @@ type modelFile struct {
 	Blocks      []approx.Block      `json:"blocks"`
 	ControlFlow *tree.ClassifierDTO `json:"control_flow,omitempty"`
 	Classes     map[string]classDTO `json:"classes"`
+	Calibration *calibDTO           `json:"calibration,omitempty"`
 }
 
 // Save writes the trained models as versioned JSON. Training records are
@@ -131,6 +141,12 @@ func (t *Trained) Save(w io.Writer) error {
 	}
 	if t.ControlFlow != nil {
 		mf.ControlFlow = t.ControlFlow.Export()
+	}
+	if t.calib != nil {
+		mf.Calibration = &calibDTO{
+			Speedup:     append([]float64(nil), t.calib.spd...),
+			Degradation: append([]float64(nil), t.calib.deg...),
+		}
 	}
 	for sig, cm := range t.Classes {
 		cd := classDTO{CtxSig: cm.CtxSig}
@@ -191,6 +207,13 @@ func LoadTrained(r io.Reader) (*Trained, error) {
 			return nil, err
 		}
 		t.ControlFlow = clf
+	}
+	if mf.Calibration != nil {
+		// SetCalibration validates length and finiteness, so a truncated
+		// or hand-edited calibration block fails at load time.
+		if err := t.SetCalibration(mf.Calibration.Speedup, mf.Calibration.Degradation); err != nil {
+			return nil, fmt.Errorf("core: model file calibration: %w", err)
+		}
 	}
 	// Validate classes in sorted order so a corrupt file reports the same
 	// error no matter the map iteration order.

@@ -218,3 +218,113 @@ func TestSaveLoadWithControlFlowTree(t *testing.T) {
 		}
 	}
 }
+
+// TestSaveLoadCalibrationRoundTrip pins the calibration persistence the
+// closed-loop serving layer depends on: a model recalibrated from
+// feedback must predict identically after a save/load round trip, so a
+// promoted shadow version reproduces byte-identical dispatches on a
+// fresh server started from its serialized form.
+func TestSaveLoadCalibrationRoundTrip(t *testing.T) {
+	_, tr := trainToy(t)
+	spd := make([]float64, tr.Phases)
+	deg := make([]float64, tr.Phases)
+	for ph := range spd {
+		spd[ph] = 0.05 * float64(ph+1)
+		deg[ph] = -0.02 * float64(ph+1)
+	}
+	if err := tr.SetCalibration(spd, deg); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.Calibrated() {
+		t.Fatal("SetCalibration did not install shifts")
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTrained(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Calibrated() {
+		t.Fatal("calibration lost in round trip")
+	}
+	gotSpd, gotDeg, ok := loaded.CalibrationShifts()
+	if !ok {
+		t.Fatal("CalibrationShifts reports uncalibrated after load")
+	}
+	for ph := range spd {
+		if gotSpd[ph] != spd[ph] || gotDeg[ph] != deg[ph] {
+			t.Fatalf("phase %d shifts changed: (%g,%g) vs (%g,%g)", ph, gotSpd[ph], gotDeg[ph], spd[ph], deg[ph])
+		}
+	}
+	p := apps.DefaultParams(toyApp{})
+	for ph := 0; ph < tr.Phases; ph++ {
+		s1, d1, err := tr.PredictPhase(p, ph, approx.Config{2, 1}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, d2, err := loaded.PredictPhase(p, ph, approx.Config{2, 1}, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s1 != s2 || d1 != d2 {
+			t.Fatalf("phase %d: calibrated predictions differ after reload", ph)
+		}
+	}
+	// A second round trip is byte-stable: the serialized promoted model is
+	// the canonical form the lifecycle layer content-hashes.
+	var buf2 bytes.Buffer
+	if err := loaded.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("save/load/save is not byte-stable for a calibrated model")
+	}
+
+	// Corrupt calibration blocks must fail at load, not serve skewed
+	// predictions.
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatal(err)
+	}
+	m["calibration"].(map[string]any)["speedup"] = []any{1.0}
+	bad, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTrained(bytes.NewReader(bad)); err == nil {
+		t.Fatal("accepted calibration block with wrong phase count")
+	}
+}
+
+// TestDiagnosePhaseMatchesPrediction pins DiagnosePhase to the live
+// prediction path: applying the band's pessimistic edges to the raw
+// predictions must reproduce PredictPhase's conservative output (up to
+// the final clamp), since the feedback loop's exceedance test assumes the
+// diag values are exactly what the optimizer saw.
+func TestDiagnosePhaseMatchesPrediction(t *testing.T) {
+	_, tr := trainToy(t)
+	p := apps.DefaultParams(toyApp{})
+	for ph := 0; ph < tr.Phases; ph++ {
+		for _, cfg := range []approx.Config{{1, 0}, {3, 2}, {0, 1}} {
+			diag, err := tr.DiagnosePhase(p, ph, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s, d, err := tr.PredictPhase(p, ph, cfg, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantS := clampF(SpeedupFromScale(diag.SpeedupBand.Lower(diag.SpeedupRaw)), 0.02, 50)
+			wantD := clampF(DegradationFromScale(diag.DegBand.Upper(diag.DegRaw)), 0, apps.MaxDegradation)
+			if s != wantS || d != wantD {
+				t.Fatalf("phase %d cfg %v: diag-reconstructed (%g,%g) != conservative prediction (%g,%g)",
+					ph, cfg, wantS, wantD, s, d)
+			}
+		}
+	}
+	if _, err := tr.DiagnosePhase(p, tr.Phases, approx.Config{0, 0}); err == nil {
+		t.Fatal("accepted out-of-range phase")
+	}
+}

@@ -1,0 +1,117 @@
+package feedback
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Entry is one line of the telemetry log: a single phase observation
+// joined with the residuals and exceedance flags computed against the
+// dispatch's recorded predictions. Seq is a per-log monotonic sequence
+// number — deliberately not a wall-clock timestamp, so the log bytes for
+// a fixed feedback sequence are identical across runs (replaying a log
+// reproduces the exact drift trajectory).
+type Entry struct {
+	Seq         uint64  `json:"seq"`
+	DispatchID  string  `json:"dispatch_id"`
+	Model       string  `json:"model"`
+	Version     string  `json:"version"`
+	Phase       int     `json:"phase"`
+	Speedup     float64 `json:"realized_speedup"`
+	Degradation float64 `json:"realized_degradation"`
+	SpeedupRes  float64 `json:"speedup_residual"`
+	DegRes      float64 `json:"deg_residual"`
+	SpeedupEx   bool    `json:"speedup_exceeded,omitempty"`
+	DegEx       bool    `json:"deg_exceeded,omitempty"`
+}
+
+// Log is an append-only JSONL telemetry store. Every Append writes one
+// line and, when opened with sync, fsyncs before returning — a crash
+// never loses an acknowledged feedback report. The zero-value *Log (nil)
+// is a valid no-op sink, so the server runs identically with telemetry
+// persistence off.
+type Log struct {
+	mu   sync.Mutex
+	f    *os.File
+	sync bool
+	seq  uint64
+}
+
+// OpenLog opens (creating if needed) an append-only telemetry log. With
+// sync true every append is fsync'd. The sequence counter resumes past
+// any existing entries so a reopened log stays strictly ordered.
+func OpenLog(path string, sync bool) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("feedback: opening log: %w", err)
+	}
+	l := &Log{f: f, sync: sync}
+	// Resume the sequence counter from the existing tail.
+	if prev, err := os.Open(path); err == nil {
+		entries, rerr := ReadLog(prev)
+		prev.Close()
+		if rerr == nil && len(entries) > 0 {
+			l.seq = entries[len(entries)-1].Seq
+		}
+	}
+	return l, nil
+}
+
+// Append assigns the next sequence number and writes the entry as one
+// JSONL line, fsync'd when the log was opened with sync.
+func (l *Log) Append(e Entry) error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	e.Seq = l.seq
+	b, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("feedback: encoding log entry: %w", err)
+	}
+	b = append(b, '\n')
+	if _, err := l.f.Write(b); err != nil {
+		return fmt.Errorf("feedback: appending log entry: %w", err)
+	}
+	if l.sync {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("feedback: fsync log: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close closes the underlying file.
+func (l *Log) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.f.Close()
+}
+
+// ReadLog decodes a JSONL telemetry stream (tests, replay tooling).
+func ReadLog(r io.Reader) ([]Entry, error) {
+	var out []Entry
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var e Entry
+		if err := json.Unmarshal(line, &e); err != nil {
+			return nil, fmt.Errorf("feedback: log line %d: %w", len(out)+1, err)
+		}
+		out = append(out, e)
+	}
+	return out, sc.Err()
+}

@@ -13,11 +13,13 @@ package flight
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // slot is one cached computation.
 type slot[V any] struct {
 	once sync.Once
+	done atomic.Bool // set once v/err are final; lets Peek avoid blocking
 	v    V
 	err  error
 }
@@ -46,8 +48,26 @@ func (g *Group[V]) Do(key string, fn func() (V, error)) (V, error, bool) {
 		g.slots[key] = s
 	}
 	g.mu.Unlock()
-	s.once.Do(func() { s.v, s.err = fn() })
+	s.once.Do(func() {
+		s.v, s.err = fn()
+		s.done.Store(true)
+	})
 	return s.v, s.err, hit
+}
+
+// Peek returns the completed, successful value for key without creating
+// a slot, blocking on an in-flight computation, or resurrecting a cached
+// error. Lifecycle layers use it to consult state that must only exist
+// if a load already succeeded.
+func (g *Group[V]) Peek(key string) (V, bool) {
+	g.mu.Lock()
+	s := g.slots[key]
+	g.mu.Unlock()
+	if s == nil || !s.done.Load() || s.err != nil {
+		var zero V
+		return zero, false
+	}
+	return s.v, true
 }
 
 // Forget drops key so the next Do recomputes it. Callers already blocked
@@ -65,6 +85,7 @@ func (g *Group[V]) Forget(key string) {
 func (g *Group[V]) Replace(key string, v V) {
 	s := &slot[V]{v: v}
 	s.once.Do(func() {})
+	s.done.Store(true)
 	g.mu.Lock()
 	if g.slots == nil {
 		g.slots = map[string]*slot[V]{}

@@ -99,6 +99,88 @@ func TestReplaceInstallsWithoutRunning(t *testing.T) {
 	}
 }
 
+func TestPeekSemantics(t *testing.T) {
+	var g Group[int]
+	// No slot.
+	if _, ok := g.Peek("k"); ok {
+		t.Fatal("Peek invented a value")
+	}
+	// In-flight computation: Peek must not block or observe a partial
+	// result.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		g.Do("k", func() (int, error) {
+			close(started)
+			<-release
+			return 42, nil
+		})
+	}()
+	<-started
+	if _, ok := g.Peek("k"); ok {
+		t.Fatal("Peek returned an in-flight slot")
+	}
+	close(release)
+	<-done
+	if v, ok := g.Peek("k"); !ok || v != 42 {
+		t.Fatalf("Peek after completion = (%d, %v), want (42, true)", v, ok)
+	}
+	// Cached errors stay invisible to Peek.
+	g.Do("bad", func() (int, error) { return 0, errors.New("boom") })
+	if _, ok := g.Peek("bad"); ok {
+		t.Fatal("Peek resurrected a cached error")
+	}
+	// Replace is immediately visible.
+	g.Replace("r", 7)
+	if v, ok := g.Peek("r"); !ok || v != 7 {
+		t.Fatalf("Peek after Replace = (%d, %v)", v, ok)
+	}
+	// Forget removes the slot from Peek's view.
+	g.Forget("k")
+	if _, ok := g.Peek("k"); ok {
+		t.Fatal("Peek survived Forget")
+	}
+}
+
+// TestConcurrentForgetPeekDo hammers the full surface concurrently: the
+// promote path (Replace+Forget) racing readers (Do+Peek) must never
+// yield a stale or partial value. The race detector plus the value
+// invariant (only generations ever installed) are the assertions.
+func TestConcurrentForgetPeekDo(t *testing.T) {
+	var g Group[int]
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				gen := w*1000 + i
+				switch i % 4 {
+				case 0:
+					v, err, _ := g.Do("k", func() (int, error) { return gen, nil })
+					if err != nil || v < 0 {
+						t.Errorf("Do = (%d, %v)", v, err)
+						return
+					}
+				case 1:
+					if v, ok := g.Peek("k"); ok && v < 0 {
+						t.Errorf("Peek saw invalid value %d", v)
+						return
+					}
+				case 2:
+					g.Replace("k", gen)
+				case 3:
+					g.Forget("k")
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
 func TestKeysAndLen(t *testing.T) {
 	var g Group[int]
 	if g.Len() != 0 || len(g.Keys()) != 0 {

@@ -1,0 +1,557 @@
+// Package lifecycle is the model-lifecycle half of the closed serving
+// loop: a versioned registry layered on the serving layer's model cache.
+// Every model file gets a content-hash version; when the drift detector
+// flags the live version, the manager builds a recalibrated **shadow**
+// version (the canary-calibration correction, measured from production
+// feedback instead of probe runs), dark-launches it — both versions are
+// evaluated per dispatch, only the live one is returned, disagreement is
+// recorded — and promotes it once its realized-error window beats the
+// live version's, with one-step rollback.
+//
+// The package does not import internal/serve: it talks to the serving
+// layer through two small interfaces (Registry, Publisher) that
+// serve.Registry and serve.FileStore satisfy structurally, so the import
+// edge runs serve -> lifecycle and the HTTP wiring stays in serve.
+//
+// Every decision here is a pure function of the dispatch + feedback
+// sequence: versions are content hashes, promoted bytes are the
+// deterministic serialized form of the recalibrated models, and the
+// error windows are fixed-size rings reduced in index order. A promoted
+// model file therefore reproduces byte-identical dispatches on a fresh
+// server (the closed-loop e2e test pins this).
+package lifecycle
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"opprox/internal/approx"
+	"opprox/internal/core"
+	"opprox/internal/feedback"
+	"opprox/internal/flight"
+	"opprox/internal/obs"
+)
+
+// Registry is the byte-reading, model-caching surface the manager layers
+// on — *serve.Registry satisfies it. ReadAll applies the registry's
+// retry/backoff policy; Install and Forget keep the singleflight cache
+// consistent with lifecycle swaps so a promote can never serve a stale
+// cached model.
+type Registry interface {
+	ReadAll(ctx context.Context, name string) ([]byte, error)
+	Install(name string, tr *core.Trained)
+	Forget(name string)
+}
+
+// Publisher persists model bytes back into the store (atomic
+// write-then-rename; serve.FileStore satisfies it). The manager writes
+// each shadow under its versioned name and, on promote/rollback, the
+// winning bytes under the base name — a fresh server started on the
+// base name serves exactly the promoted model.
+type Publisher interface {
+	Put(name string, data []byte) error
+}
+
+// Options tunes the lifecycle manager. The zero value is usable.
+type Options struct {
+	// ErrWindow is the size of the realized-error rings the live and
+	// shadow versions are compared over (default 32).
+	ErrWindow int
+	// MinShadowSamples is how many realized-error samples both windows
+	// need before an auto-promotion comparison (default 8).
+	MinShadowSamples int
+	// DisableAutoPromote turns automatic promotion off; /v1/promote
+	// still works.
+	DisableAutoPromote bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.ErrWindow <= 0 {
+		o.ErrWindow = 32
+	}
+	if o.MinShadowSamples <= 0 {
+		o.MinShadowSamples = 8
+	}
+	return o
+}
+
+// Version is the content-hash version of a model file's bytes.
+func Version(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:6])
+}
+
+// VersionedName is the store name a specific model version is persisted
+// under ("pso.json@3f2a...").
+func VersionedName(name, version string) string {
+	return name + "@" + version
+}
+
+// Lifecycle errors; the serving layer maps them onto its taxonomy.
+var (
+	// ErrNoShadow: promote was requested but no shadow version exists.
+	ErrNoShadow = errors.New("lifecycle: no shadow version")
+	// ErrNoPrevious: rollback was requested but no previous version exists.
+	ErrNoPrevious = errors.New("lifecycle: no previous version")
+	// ErrUnknownModel: the named model was never resolved by this manager.
+	ErrUnknownModel = errors.New("lifecycle: unknown model")
+)
+
+// errWindow is a fixed ring of realized-error samples reduced in index
+// order (deterministic mean).
+type errWindow struct {
+	v      []float64
+	next   int
+	filled int
+}
+
+func (w *errWindow) push(size int, e float64) {
+	if w.v == nil {
+		w.v = make([]float64, size)
+	}
+	w.v[w.next] = e
+	w.next = (w.next + 1) % size
+	if w.filled < size {
+		w.filled++
+	}
+}
+
+func (w *errWindow) mean() float64 {
+	if w.filled == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, e := range w.v[:w.filled] {
+		sum += e
+	}
+	return sum / float64(w.filled)
+}
+
+// shadowState is a dark-launched candidate version.
+type shadowState struct {
+	version string
+	tr      *core.Trained
+	raw     []byte
+
+	disagree  int64
+	liveErr   errWindow
+	shadowErr errWindow
+}
+
+// modelState is the lifecycle view of one base model name.
+type modelState struct {
+	mu sync.Mutex
+
+	name        string
+	liveVersion string
+	live        *core.Trained
+	liveRaw     []byte
+
+	prevVersion string
+	prev        *core.Trained
+	prevRaw     []byte
+
+	shadow *shadowState
+}
+
+// Manager is the versioned model-lifecycle registry.
+type Manager struct {
+	reg  Registry
+	pub  Publisher
+	opts Options
+
+	group flight.Group[*modelState]
+}
+
+// NewManager builds a lifecycle manager over a registry and a publisher.
+// pub may be nil, in which case shadow and promoted versions live only
+// in memory (tests; a production store should always persist).
+func NewManager(reg Registry, pub Publisher, opts Options) *Manager {
+	return &Manager{reg: reg, pub: pub, opts: opts.withDefaults()}
+}
+
+// state resolves (loading on first use, singleflight) the lifecycle
+// state for a base model name.
+func (m *Manager) state(ctx context.Context, name string) (*modelState, error) {
+	st, err, _ := m.group.Do(name, func() (*modelState, error) {
+		raw, err := m.reg.ReadAll(ctx, name)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := core.LoadTrained(bytes.NewReader(raw))
+		if err != nil {
+			return nil, fmt.Errorf("model %q: %w", name, err)
+		}
+		m.reg.Install(name, tr)
+		return &modelState{
+			name:        name,
+			liveVersion: Version(raw),
+			live:        tr,
+			liveRaw:     raw,
+		}, nil
+	})
+	if err != nil {
+		// Never cache a failed load: the store may heal.
+		m.group.Forget(name)
+		return nil, err
+	}
+	return st, nil
+}
+
+// peek returns the state only if the model was already resolved
+// successfully (non-blocking; never fabricates a slot).
+func (m *Manager) peek(name string) (*modelState, bool) {
+	return m.group.Peek(name)
+}
+
+// Live resolves the live version for a base model name: the trained
+// models and their content-hash version.
+func (m *Manager) Live(ctx context.Context, name string) (*core.Trained, string, error) {
+	st, err := m.state(ctx, name)
+	if err != nil {
+		return nil, "", err
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.live, st.liveVersion, nil
+}
+
+// LiveVersion returns the live version for an already-resolved model
+// without loading anything (feedback paths must not trigger I/O).
+func (m *Manager) LiveVersion(name string) (string, bool) {
+	st, ok := m.peek(name)
+	if !ok {
+		return "", false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.liveVersion, true
+}
+
+// Shadow returns the dark-launched candidate for a model, if any.
+func (m *Manager) Shadow(name string) (*core.Trained, string, bool) {
+	st, ok := m.peek(name)
+	if !ok {
+		return nil, "", false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.shadow == nil {
+		return nil, "", false
+	}
+	return st.shadow.tr, st.shadow.version, true
+}
+
+// NoteDisagreement records one dispatch where the shadow's schedule
+// differed from the live one — the dark-launch signal operators watch
+// before trusting a promotion.
+func (m *Manager) NoteDisagreement(name string) {
+	st, ok := m.peek(name)
+	if !ok {
+		return
+	}
+	st.mu.Lock()
+	if st.shadow != nil {
+		st.shadow.disagree++
+	}
+	st.mu.Unlock()
+	obs.Inc("lifecycle.shadow.disagree")
+}
+
+// CreateShadow builds, persists and dark-launches a recalibrated shadow
+// version of the live model: the per-phase additive shifts (typically
+// the drift detector's median log-residuals) are folded into the live
+// calibration exactly as CalibrateCanary would have installed them. A
+// shadow already in flight is kept — repeated drift signals do not churn
+// the candidate under evaluation.
+func (m *Manager) CreateShadow(name string, addSpd, addDeg []float64) (string, error) {
+	st, ok := m.peek(name)
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrUnknownModel, name)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.shadow != nil {
+		return st.shadow.version, nil
+	}
+	zero := true
+	for _, v := range addSpd {
+		zero = zero && v == 0
+	}
+	for _, v := range addDeg {
+		zero = zero && v == 0
+	}
+	if zero {
+		// Behaviorally identical to live (even where the bytes would
+		// differ, e.g. materializing an explicit zero calibration block).
+		return "", fmt.Errorf("lifecycle: recalibration is a no-op for %s", name)
+	}
+
+	// Clone via the deterministic serialized form, then fold the new
+	// correction into whatever calibration the live model already has.
+	clone, err := core.LoadTrained(bytes.NewReader(st.liveRaw))
+	if err != nil {
+		return "", fmt.Errorf("lifecycle: cloning live model: %w", err)
+	}
+	spd, deg, ok := clone.CalibrationShifts()
+	if !ok {
+		spd = make([]float64, clone.Phases)
+		deg = make([]float64, clone.Phases)
+	}
+	if len(addSpd) != clone.Phases || len(addDeg) != clone.Phases {
+		return "", fmt.Errorf("lifecycle: %d/%d correction phases for a %d-phase model",
+			len(addSpd), len(addDeg), clone.Phases)
+	}
+	for ph := 0; ph < clone.Phases; ph++ {
+		spd[ph] += addSpd[ph]
+		deg[ph] += addDeg[ph]
+	}
+	if err := clone.SetCalibration(spd, deg); err != nil {
+		return "", fmt.Errorf("lifecycle: recalibrating shadow: %w", err)
+	}
+	var out bytes.Buffer
+	if err := clone.Save(&out); err != nil {
+		return "", fmt.Errorf("lifecycle: serializing shadow: %w", err)
+	}
+	raw := out.Bytes()
+	ver := Version(raw)
+	if ver == st.liveVersion {
+		// A zero correction reproduces the live bytes; nothing to launch.
+		return "", fmt.Errorf("lifecycle: recalibration is a no-op for %s", name)
+	}
+	if m.pub != nil {
+		if err := m.pub.Put(VersionedName(name, ver), raw); err != nil {
+			return "", fmt.Errorf("lifecycle: persisting shadow: %w", err)
+		}
+	}
+	st.shadow = &shadowState{version: ver, tr: clone, raw: raw}
+	obs.Inc("lifecycle.shadow.created")
+	obs.LogEvent("lifecycle.shadow", "%s: shadow %s dark-launched next to live %s", name, ver, st.liveVersion)
+	return ver, nil
+}
+
+// Feedback folds one feedback report's realized values into the
+// live-vs-shadow error comparison and returns whether it auto-promoted
+// the shadow. Reports for a version other than the current live one are
+// ignored (the dispatch predates a swap). The per-phase error is the
+// mean absolute residual across both targets on their training scales —
+// the same quantity the confidence bands were calibrated on.
+func (m *Manager) Feedback(rec *feedback.DispatchRecord, observations []feedback.PhaseObservation) (promoted bool, err error) {
+	st, ok := m.peek(rec.Model)
+	if !ok {
+		return false, nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if rec.Version != st.liveVersion || st.shadow == nil {
+		return false, nil
+	}
+	sh := st.shadow
+	for _, o := range observations {
+		if o.Phase < 0 || o.Phase >= len(rec.Diags) || o.Phase >= len(rec.Levels) {
+			continue
+		}
+		realS := core.SpeedupScale(o.Speedup)
+		realD := core.DegradationScale(o.Degradation)
+		liveDiag := rec.Diags[o.Phase]
+		liveErr := (abs(realS-liveDiag.SpeedupRaw) + abs(realD-liveDiag.DegRaw)) / 2
+
+		shDiag, derr := sh.tr.DiagnosePhase(rec.Params, o.Phase, approx.Config(rec.Levels[o.Phase]))
+		if derr != nil {
+			// The shadow cannot price this dispatch (should not happen:
+			// same blocks, same phases); skip the sample for both windows
+			// so the comparison stays apples to apples.
+			continue
+		}
+		shadowErr := (abs(realS-shDiag.SpeedupRaw) + abs(realD-shDiag.DegRaw)) / 2
+		sh.liveErr.push(m.opts.ErrWindow, liveErr)
+		sh.shadowErr.push(m.opts.ErrWindow, shadowErr)
+	}
+	if m.opts.DisableAutoPromote {
+		return false, nil
+	}
+	if sh.liveErr.filled < m.opts.MinShadowSamples || sh.shadowErr.filled < m.opts.MinShadowSamples {
+		return false, nil
+	}
+	if sh.shadowErr.mean() >= sh.liveErr.mean() {
+		return false, nil
+	}
+	if err := m.promoteLocked(st); err != nil {
+		return false, err
+	}
+	obs.Inc("lifecycle.promote.auto")
+	return true, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// Promote makes the shadow version live: the previous live version is
+// retained for one-step rollback, the promoted bytes are persisted under
+// both the versioned and the base store name (atomic publish), and the
+// serving cache is swapped in the same step.
+func (m *Manager) Promote(name string) error {
+	st, ok := m.peek(name)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownModel, name)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return m.promoteLocked(st)
+}
+
+func (m *Manager) promoteLocked(st *modelState) error {
+	if st.shadow == nil {
+		return fmt.Errorf("%w for %s", ErrNoShadow, st.name)
+	}
+	sh := st.shadow
+	if m.pub != nil {
+		// Keep the outgoing live version recoverable under its versioned
+		// name before the base name is overwritten.
+		if err := m.pub.Put(VersionedName(st.name, st.liveVersion), st.liveRaw); err != nil {
+			return fmt.Errorf("lifecycle: preserving live version: %w", err)
+		}
+		if err := m.pub.Put(st.name, sh.raw); err != nil {
+			return fmt.Errorf("lifecycle: publishing promoted version: %w", err)
+		}
+	}
+	st.prevVersion, st.prev, st.prevRaw = st.liveVersion, st.live, st.liveRaw
+	st.liveVersion, st.live, st.liveRaw = sh.version, sh.tr, sh.raw
+	st.shadow = nil
+	m.reg.Install(st.name, st.live)
+	m.reg.Forget(VersionedName(st.name, st.prevVersion))
+	obs.Inc("lifecycle.promote")
+	obs.LogEvent("lifecycle.promote", "%s: %s promoted over %s", st.name, st.liveVersion, st.prevVersion)
+	return nil
+}
+
+// Rollback restores the previous live version in one step. The rolled-
+// back-from version becomes the new previous, so a mistaken rollback is
+// itself reversible.
+func (m *Manager) Rollback(name string) error {
+	st, ok := m.peek(name)
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownModel, name)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.prev == nil {
+		return fmt.Errorf("%w for %s", ErrNoPrevious, name)
+	}
+	if m.pub != nil {
+		if err := m.pub.Put(VersionedName(st.name, st.liveVersion), st.liveRaw); err != nil {
+			return fmt.Errorf("lifecycle: preserving live version: %w", err)
+		}
+		if err := m.pub.Put(st.name, st.prevRaw); err != nil {
+			return fmt.Errorf("lifecycle: publishing rollback: %w", err)
+		}
+	}
+	st.liveVersion, st.prevVersion = st.prevVersion, st.liveVersion
+	st.live, st.prev = st.prev, st.live
+	st.liveRaw, st.prevRaw = st.prevRaw, st.liveRaw
+	st.shadow = nil
+	m.reg.Install(st.name, st.live)
+	obs.Inc("lifecycle.rollback")
+	obs.LogEvent("lifecycle.rollback", "%s: rolled back to %s (from %s)", st.name, st.liveVersion, st.prevVersion)
+	return nil
+}
+
+// Reload re-reads the base model file and, when its content hash
+// changed, installs it as the new live version (previous retained for
+// rollback, shadow dropped). It returns whether the live version
+// changed. A failed read or validation keeps the last-good state — the
+// same contract as the registry's hot reload.
+func (m *Manager) Reload(ctx context.Context, name string) (bool, error) {
+	st, ok := m.peek(name)
+	if !ok {
+		// Never resolved: a plain resolve is the reload.
+		_, err := m.state(ctx, name)
+		return err == nil, err
+	}
+	raw, err := m.reg.ReadAll(ctx, name)
+	if err != nil {
+		return false, err
+	}
+	tr, err := core.LoadTrained(bytes.NewReader(raw))
+	if err != nil {
+		return false, fmt.Errorf("model %q: %w", name, err)
+	}
+	ver := Version(raw)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if ver == st.liveVersion {
+		return false, nil
+	}
+	st.prevVersion, st.prev, st.prevRaw = st.liveVersion, st.live, st.liveRaw
+	st.liveVersion, st.live, st.liveRaw = ver, tr, raw
+	st.shadow = nil
+	m.reg.Install(name, tr)
+	obs.Inc("lifecycle.reload")
+	return true, nil
+}
+
+// ShadowStatus is the dark-launch telemetry exposed per model.
+type ShadowStatus struct {
+	Version string `json:"version"`
+	// Samples is how many realized-error samples the comparison windows
+	// hold (both windows fill in lockstep).
+	Samples int `json:"samples"`
+	// LiveWindowErr and ShadowWindowErr are the mean absolute residuals
+	// of the live and shadow predictions over the comparison window.
+	LiveWindowErr   float64 `json:"live_window_err"`
+	ShadowWindowErr float64 `json:"shadow_window_err"`
+	// Disagreements counts dispatches whose shadow schedule differed.
+	Disagreements int64 `json:"disagreements"`
+}
+
+// ModelStatus is one model's lifecycle view (GET /v1/models). Health is
+// filled by the serving layer from the drift detector — the manager
+// tracks versions, not drift.
+type ModelStatus struct {
+	Name            string        `json:"name"`
+	LiveVersion     string        `json:"live_version"`
+	PreviousVersion string        `json:"previous_version,omitempty"`
+	Health          string        `json:"health"`
+	Shadow          *ShadowStatus `json:"shadow,omitempty"`
+}
+
+// Snapshot lists every resolved model's lifecycle state, sorted by name.
+func (m *Manager) Snapshot() []ModelStatus {
+	names := m.group.Keys()
+	sort.Strings(names)
+	out := make([]ModelStatus, 0, len(names))
+	for _, name := range names {
+		st, ok := m.peek(name)
+		if !ok {
+			continue
+		}
+		st.mu.Lock()
+		ms := ModelStatus{
+			Name:            st.name,
+			LiveVersion:     st.liveVersion,
+			PreviousVersion: st.prevVersion,
+		}
+		if sh := st.shadow; sh != nil {
+			ms.Shadow = &ShadowStatus{
+				Version:         sh.version,
+				Samples:         sh.shadowErr.filled,
+				LiveWindowErr:   sh.liveErr.mean(),
+				ShadowWindowErr: sh.shadowErr.mean(),
+				Disagreements:   sh.disagree,
+			}
+		}
+		st.mu.Unlock()
+		out = append(out, ms)
+	}
+	return out
+}

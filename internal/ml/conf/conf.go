@@ -164,6 +164,12 @@ func (b Banded) band(pred float64) Interval {
 	return b.Bands[len(b.Bands)-1]
 }
 
+// Band returns the interval whose prediction range contains pred — the
+// same lookup Upper/Lower apply, exposed so callers that compare realized
+// values against the band (the serving feedback loop's drift detector)
+// can read the half-width at a given prediction.
+func (b Banded) Band(pred float64) Interval { return b.band(pred) }
+
 // Upper returns the banded conservative upper bound for a prediction.
 func (b Banded) Upper(pred float64) float64 { return b.band(pred).Upper(pred) }
 

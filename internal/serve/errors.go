@@ -19,10 +19,18 @@ import (
 //     all-accurate schedule instead of surfacing this.
 //   - ErrOptimize: the models loaded but optimization or schedule
 //     encoding failed (unknown parameters, colliding block names).
+//   - ErrNotFound: the request names an entity the server does not have —
+//     an unknown dispatch ID on /v1/feedback, an unresolved model on
+//     /v1/promote or /v1/rollback. Distinct from ErrModelUnavailable:
+//     nothing is expected to heal; the client sent a stale or wrong name.
+//   - Request timeouts (context.DeadlineExceeded/Canceled, wrapped or
+//     bare) map to 504 "timeout": the request was fine, the server ran
+//     out of budget.
 var (
 	ErrBadRequest       = errors.New("serve: bad request")
 	ErrModelUnavailable = errors.New("serve: model unavailable")
 	ErrOptimize         = errors.New("serve: optimization failed")
+	ErrNotFound         = errors.New("serve: not found")
 )
 
 // errCode is the machine-readable code clients switch on.
@@ -34,6 +42,8 @@ func errCode(err error) string {
 		return "model_unavailable"
 	case errors.Is(err, ErrOptimize):
 		return "optimize_failed"
+	case errors.Is(err, ErrNotFound):
+		return "not_found"
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return "timeout"
 	default:
@@ -50,6 +60,8 @@ func httpStatus(err error) int {
 		return http.StatusServiceUnavailable
 	case errors.Is(err, ErrOptimize):
 		return http.StatusUnprocessableEntity
+	case errors.Is(err, ErrNotFound):
+		return http.StatusNotFound
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout
 	default:

@@ -1,0 +1,41 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"testing"
+)
+
+// TestErrorTaxonomy pins the full classification table, including the
+// wrapped forms the handlers actually produce: a request-timeout error
+// must map to 504 "timeout" whether it surfaces bare from ctx.Err() or
+// wrapped with dispatch detail, and never fall through to "internal".
+func TestErrorTaxonomy(t *testing.T) {
+	cases := []struct {
+		err    error
+		code   string
+		status int
+	}{
+		{ErrBadRequest, "bad_request", http.StatusBadRequest},
+		{fmt.Errorf("%w: negative budget", ErrBadRequest), "bad_request", http.StatusBadRequest},
+		{ErrModelUnavailable, "model_unavailable", http.StatusServiceUnavailable},
+		{fmt.Errorf("%w: model %q", ErrModelUnavailable, "x.json"), "model_unavailable", http.StatusServiceUnavailable},
+		{ErrOptimize, "optimize_failed", http.StatusUnprocessableEntity},
+		{ErrNotFound, "not_found", http.StatusNotFound},
+		{fmt.Errorf("%w: dispatch %q", ErrNotFound, "abc"), "not_found", http.StatusNotFound},
+		{context.DeadlineExceeded, "timeout", http.StatusGatewayTimeout},
+		{fmt.Errorf("dispatching job: %w", context.DeadlineExceeded), "timeout", http.StatusGatewayTimeout},
+		{context.Canceled, "timeout", http.StatusGatewayTimeout},
+		{fmt.Errorf("loading model: %w", context.Canceled), "timeout", http.StatusGatewayTimeout},
+		{fmt.Errorf("disk on fire"), "internal", http.StatusInternalServerError},
+	}
+	for _, c := range cases {
+		if got := errCode(c.err); got != c.code {
+			t.Errorf("errCode(%v) = %q, want %q", c.err, got, c.code)
+		}
+		if got := httpStatus(c.err); got != c.status {
+			t.Errorf("httpStatus(%v) = %d, want %d", c.err, got, c.status)
+		}
+	}
+}

@@ -1,0 +1,331 @@
+package serve
+
+// The closed-loop ("pilot") endpoints: feedback ingestion, drift-driven
+// recalibration, and the model-lifecycle API. The dispatch path records
+// what was served (pilot-side state lives on Server: records, detector,
+// flog, mgr); these handlers close the loop from realized QoS back to
+// the models.
+//
+// Determinism contract: for a fixed dispatch + feedback sequence the
+// drift states, transitions, shadow versions and every response body are
+// identical across runs and restarts. Nothing in this file consults a
+// clock, a random source, or map iteration order on a decision path.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"opprox/internal/approx"
+	"opprox/internal/core"
+	"opprox/internal/feedback"
+	"opprox/internal/launch"
+	"opprox/internal/lifecycle"
+	"opprox/internal/obs"
+)
+
+// dispatchID is the deterministic key feedback reports use to refer to a
+// served dispatch: a content hash of the model identity, the request,
+// and the schedule that was returned. encoding/json sorts map keys, so
+// the params marshal canonically.
+func dispatchID(dreq *DispatchRequest, version string, levels [][]int) string {
+	payload, err := json.Marshal(struct {
+		Model   string         `json:"model"`
+		Version string         `json:"version"`
+		App     string         `json:"app"`
+		Budget  float64        `json:"budget"`
+		Params  map[string]any `json:"params"`
+		Levels  [][]int        `json:"levels"`
+	}{
+		Model:   dreq.ModelPath,
+		Version: version,
+		App:     dreq.App,
+		Budget:  dreq.Budget,
+		Params:  paramsCanonical(dreq),
+		Levels:  levels,
+	})
+	if err != nil {
+		// Unreachable for the field types above; a stable sentinel beats
+		// a panic on a serving path.
+		return "unhashable"
+	}
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:8])
+}
+
+func paramsCanonical(dreq *DispatchRequest) map[string]any {
+	m := make(map[string]any, len(dreq.Params))
+	for k, v := range dreq.Params {
+		m[k] = v
+	}
+	return m
+}
+
+// evalShadow dark-launches the shadow version against a live dispatch:
+// the shadow plans the same request, the schedules are compared, and a
+// disagreement is recorded — but only the live schedule was returned.
+func (s *Server) evalShadow(dreq *DispatchRequest, liveLevels [][]int) {
+	sh, _, ok := s.mgr.Shadow(dreq.ModelPath)
+	if !ok {
+		return
+	}
+	plan, err := launch.DispatchTrained(&dreq.JobConfig, sh)
+	if err != nil {
+		obs.Inc("serve.shadow.error")
+		return
+	}
+	obs.Inc("serve.shadow.evaluated")
+	if !levelsEqual(liveLevels, plan.Schedule.Levels) {
+		s.mgr.NoteDisagreement(dreq.ModelPath)
+	}
+}
+
+func levelsEqual(a [][]int, b []approx.Config) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for ph := range a {
+		if len(a[ph]) != len(b[ph]) {
+			return false
+		}
+		for i := range a[ph] {
+			if a[ph][i] != b[ph][i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// feedbackResponse is the body of a successful POST /v1/feedback.
+type feedbackResponse struct {
+	// Status is "ok", or "stale_version" when the dispatch predates the
+	// current live version (logged, but not drift evidence).
+	Status string `json:"status"`
+	Model  string `json:"model"`
+	// State is the model's drift state after this report.
+	State string `json:"state"`
+	// ShadowCreated is the version of a shadow dark-launched in response
+	// to this report flipping the model to drifting.
+	ShadowCreated string `json:"shadow_created,omitempty"`
+	// Promoted reports that this feedback completed the evidence for an
+	// automatic shadow promotion.
+	Promoted bool `json:"promoted,omitempty"`
+}
+
+func (s *Server) handleFeedback(w http.ResponseWriter, req *http.Request) {
+	done := obs.Timer("serve.http.feedback")
+	defer done()
+	obs.Inc("serve.feedback.requests")
+	if req.Method != http.MethodPost {
+		writeError(w, fmt.Errorf("%w: %s not allowed on /v1/feedback", ErrBadRequest, req.Method))
+		return
+	}
+	var report feedback.Report
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&report); err != nil {
+		writeError(w, fmt.Errorf("%w: decoding body: %v", ErrBadRequest, err))
+		return
+	}
+	rec, ok := s.records.Get(report.DispatchID)
+	if !ok {
+		obs.Inc("serve.feedback.unknown_dispatch")
+		writeError(w, fmt.Errorf("%w: dispatch %q", ErrNotFound, report.DispatchID))
+		return
+	}
+	if err := report.Validate(rec.Phases); err != nil {
+		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
+		return
+	}
+
+	samples := buildSamples(rec, report.Observations)
+	s.logFeedback(rec, report.Observations, samples)
+
+	resp := feedbackResponse{Status: "ok", Model: rec.Model}
+	liveVer, _ := s.mgr.LiveVersion(rec.Model)
+	if rec.Version != liveVer {
+		// The dispatch predates a promote/rollback/reload: its residuals
+		// say nothing about the current live version. Telemetry keeps the
+		// entries; the detector and the shadow comparison skip them.
+		obs.Inc("serve.feedback.stale_version")
+		resp.Status = "stale_version"
+		resp.State = s.detector.State(rec.Model).String()
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+
+	state, transitions := s.detector.Observe(rec.Model, samples)
+	for _, tr := range transitions {
+		if tr.To != feedback.Drifting || !s.autoRecal {
+			continue
+		}
+		// Drift response: fold the observed median log-residuals into the
+		// calibration — the canary correction, measured from production
+		// feedback instead of probe runs — and dark-launch the result.
+		spd, deg := s.detector.Medians(rec.Model, rec.Phases)
+		ver, err := s.mgr.CreateShadow(rec.Model, spd, deg)
+		if err != nil {
+			obs.Inc("serve.shadow.create_failed")
+			obs.LogEvent("serve.shadow", "%s: drift response failed: %v", rec.Model, err)
+			continue
+		}
+		resp.ShadowCreated = ver
+	}
+
+	promoted, err := s.mgr.Feedback(rec, report.Observations)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if promoted {
+		// The evidence windows referred to the now-previous version.
+		s.detector.Reset(rec.Model)
+		state = s.detector.State(rec.Model)
+	}
+	resp.State = state.String()
+	resp.Promoted = promoted
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// buildSamples turns realized observations into detector samples:
+// residuals on the training scales and band-exceedance flags, judged
+// against the predictions this dispatch was actually served under.
+func buildSamples(rec *feedback.DispatchRecord, observations []feedback.PhaseObservation) []feedback.Sample {
+	samples := make([]feedback.Sample, 0, len(observations))
+	for _, o := range observations {
+		if o.Phase < 0 || o.Phase >= len(rec.Diags) {
+			continue
+		}
+		d := rec.Diags[o.Phase]
+		realS := core.SpeedupScale(o.Speedup)
+		realD := core.DegradationScale(o.Degradation)
+		samples = append(samples, feedback.Sample{
+			Phase:           o.Phase,
+			SpeedupResidual: realS - d.SpeedupRaw,
+			DegResidual:     realD - d.DegRaw,
+			SpeedupExceeded: !d.SpeedupBand.Contains(d.SpeedupRaw, realS),
+			DegExceeded:     !d.DegBand.Contains(d.DegRaw, realD),
+		})
+	}
+	return samples
+}
+
+// logFeedback appends one telemetry entry per observation; a nil log is
+// a no-op. Log failures are counted, never surfaced to the reporter —
+// telemetry must not fail feedback.
+func (s *Server) logFeedback(rec *feedback.DispatchRecord, observations []feedback.PhaseObservation, samples []feedback.Sample) {
+	if s.flog == nil {
+		return
+	}
+	byPhase := make(map[int]feedback.Sample, len(samples))
+	for _, smp := range samples {
+		byPhase[smp.Phase] = smp
+	}
+	for _, o := range observations {
+		smp := byPhase[o.Phase]
+		err := s.flog.Append(feedback.Entry{
+			DispatchID:  rec.ID,
+			Model:       rec.Model,
+			Version:     rec.Version,
+			Phase:       o.Phase,
+			Speedup:     o.Speedup,
+			Degradation: o.Degradation,
+			SpeedupRes:  smp.SpeedupResidual,
+			DegRes:      smp.DegResidual,
+			SpeedupEx:   smp.SpeedupExceeded,
+			DegEx:       smp.DegExceeded,
+		})
+		if err != nil {
+			obs.Inc("serve.feedback.log_failed")
+			return
+		}
+	}
+}
+
+// modelsResponse is the body of GET /v1/models.
+type modelsResponse struct {
+	Models []lifecycle.ModelStatus `json:"models"`
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		writeError(w, fmt.Errorf("%w: %s not allowed on /v1/models", ErrBadRequest, req.Method))
+		return
+	}
+	snap := s.mgr.Snapshot()
+	for i := range snap {
+		snap[i].Health = s.detector.State(snap[i].Name).String()
+	}
+	writeJSON(w, http.StatusOK, modelsResponse{Models: snap})
+}
+
+// modelRequest is the body of POST /v1/promote and POST /v1/rollback.
+type modelRequest struct {
+	Model string `json:"model"`
+}
+
+// lifecycleResult reports the versions after a promote or rollback.
+type lifecycleResult struct {
+	Model           string `json:"model"`
+	LiveVersion     string `json:"live_version"`
+	PreviousVersion string `json:"previous_version,omitempty"`
+}
+
+func (s *Server) handlePromote(w http.ResponseWriter, req *http.Request) {
+	s.handleLifecycleSwap(w, req, "/v1/promote", s.mgr.Promote)
+}
+
+func (s *Server) handleRollback(w http.ResponseWriter, req *http.Request) {
+	s.handleLifecycleSwap(w, req, "/v1/rollback", s.mgr.Rollback)
+}
+
+func (s *Server) handleLifecycleSwap(w http.ResponseWriter, req *http.Request, path string, op func(string) error) {
+	if req.Method != http.MethodPost {
+		writeError(w, fmt.Errorf("%w: %s not allowed on %s", ErrBadRequest, req.Method, path))
+		return
+	}
+	var mreq modelRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxRequestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&mreq); err != nil {
+		writeError(w, fmt.Errorf("%w: decoding body: %v", ErrBadRequest, err))
+		return
+	}
+	if mreq.Model == "" {
+		writeError(w, fmt.Errorf("%w: missing model", ErrBadRequest))
+		return
+	}
+	if err := op(mreq.Model); err != nil {
+		writeError(w, classifyLifecycleErr(err))
+		return
+	}
+	// The evidence gathered so far judged the previous live version.
+	s.detector.Reset(mreq.Model)
+	res := lifecycleResult{Model: mreq.Model}
+	for _, st := range s.mgr.Snapshot() {
+		if st.Name == mreq.Model {
+			res.LiveVersion = st.LiveVersion
+			res.PreviousVersion = st.PreviousVersion
+		}
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+// classifyLifecycleErr maps lifecycle errors onto the serving taxonomy:
+// an unknown model is a 404 (the client named something the server never
+// resolved); a missing shadow/previous version is a 400 (the operation
+// cannot apply to the current state); everything else is internal.
+func classifyLifecycleErr(err error) error {
+	switch {
+	case errors.Is(err, lifecycle.ErrUnknownModel):
+		return fmt.Errorf("%w: %v", ErrNotFound, err)
+	case errors.Is(err, lifecycle.ErrNoShadow), errors.Is(err, lifecycle.ErrNoPrevious):
+		return fmt.Errorf("%w: %v", ErrBadRequest, err)
+	default:
+		return err
+	}
+}

@@ -2,9 +2,11 @@ package serve
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"io/fs"
 	"time"
 
@@ -107,6 +109,24 @@ func (r *Registry) Get(ctx context.Context, name string) (*core.Trained, error) 
 func (r *Registry) load(ctx context.Context, name string) (*core.Trained, error) {
 	done := obs.Timer("serve.model.load")
 	defer done()
+	raw, err := r.ReadAll(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := core.LoadTrained(bytes.NewReader(raw))
+	if err != nil {
+		// The file exists but fails structural validation (truncated,
+		// corrupt bands, version skew): retrying the same bytes cannot
+		// help.
+		return nil, fmt.Errorf("%w: model %q: %v", ErrModelUnavailable, name, err)
+	}
+	return tr, nil
+}
+
+// ReadAll returns the raw bytes of a model file under the registry's
+// retry/backoff policy — the byte-level primitive the lifecycle layer
+// version-hashes before deciding whether to re-validate and swap.
+func (r *Registry) ReadAll(ctx context.Context, name string) ([]byte, error) {
 	var lastErr error
 	for attempt := 0; attempt <= r.retries; attempt++ {
 		if attempt > 0 {
@@ -128,18 +148,29 @@ func (r *Registry) load(ctx context.Context, name string) (*core.Trained, error)
 			lastErr = err
 			continue
 		}
-		tr, err := core.LoadTrained(bufio.NewReader(rc))
+		raw, err := io.ReadAll(bufio.NewReader(rc))
 		rc.Close()
 		if err != nil {
-			// The file exists but fails structural validation (truncated,
-			// corrupt bands, version skew): retrying the same bytes cannot
-			// help.
-			return nil, fmt.Errorf("%w: model %q: %v", ErrModelUnavailable, name, err)
+			lastErr = err
+			continue
 		}
-		return tr, nil
+		return raw, nil
 	}
 	return nil, fmt.Errorf("%w: model %q after %d attempts: %v",
 		ErrModelUnavailable, name, r.retries+1, lastErr)
+}
+
+// Install atomically places already-validated models into the cache under
+// name — the lifecycle layer's promote/rollback primitive. Subsequent
+// Gets are hits; an in-flight load's callers still receive its result.
+func (r *Registry) Install(name string, tr *core.Trained) {
+	r.group.Replace(name, tr)
+}
+
+// Forget drops the cached models for name so the next Get reloads from
+// the store (used when a versioned alias is retired).
+func (r *Registry) Forget(name string) {
+	r.group.Forget(name)
 }
 
 // Reload atomically replaces the cached models for name with a freshly

@@ -77,6 +77,14 @@ func (s *fakeStore) Open(name string) (io.ReadCloser, error) {
 	return io.NopCloser(bytes.NewReader(b)), nil
 }
 
+// Put makes fakeStore a lifecycle publisher, mirroring FileStore.
+func (s *fakeStore) Put(name string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.files[name] = append([]byte(nil), data...)
+	return nil
+}
+
 // instantSleep replaces the registry's backoff sleeper so retry tests
 // don't wait.
 func instantSleep(r *Registry) {

@@ -33,7 +33,11 @@ import (
 	"sort"
 	"time"
 
+	"opprox/internal/approx"
+	"opprox/internal/core"
+	"opprox/internal/feedback"
 	"opprox/internal/launch"
+	"opprox/internal/lifecycle"
 	"opprox/internal/obs"
 )
 
@@ -46,12 +50,30 @@ const maxRequestBytes = 1 << 20
 
 // Options configures a Server.
 type Options struct {
-	// Store is where model files are read from.
+	// Store is where model files are read from. A store that also
+	// implements Put (FileStore does) lets the lifecycle layer persist
+	// shadow and promoted versions; a read-only store keeps them in
+	// memory only.
 	Store Store
 	// Timeout is the per-request budget (default DefaultTimeout).
 	Timeout time.Duration
 	// Registry tunes model loading (retry count, backoff base).
 	Registry RegistryOptions
+	// Drift tunes the feedback drift detector (window sizes, exceedance
+	// fraction, CUSUM thresholds).
+	Drift feedback.Options
+	// Lifecycle tunes the shadow/promotion manager (error windows,
+	// auto-promotion).
+	Lifecycle lifecycle.Options
+	// FeedbackLog, when non-nil, receives every accepted feedback
+	// observation as an append-only JSONL entry (see feedback.OpenLog).
+	FeedbackLog *feedback.Log
+	// RecordCap bounds the in-memory dispatch-record store feedback
+	// reports are matched against (default feedback.DefaultRecordCap).
+	RecordCap int
+	// DisableAutoRecalibrate turns off the drift response: models still
+	// flip to drifting/stale, but no shadow is created automatically.
+	DisableAutoRecalibrate bool
 }
 
 // Server answers dispatch requests against a model registry. Create with
@@ -59,6 +81,14 @@ type Options struct {
 type Server struct {
 	reg     *Registry
 	timeout time.Duration
+
+	// Closed-loop state: dispatch records awaiting feedback, the drift
+	// detector, the telemetry log and the model-lifecycle manager.
+	records   *feedback.Records
+	detector  *feedback.Detector
+	flog      *feedback.Log
+	mgr       *lifecycle.Manager
+	autoRecal bool
 }
 
 // New builds a Server over a model store.
@@ -69,24 +99,45 @@ func New(opts Options) *Server {
 	if opts.Store == nil {
 		opts.Store = FileStore{}
 	}
+	reg := NewRegistry(opts.Store, opts.Registry)
+	var pub lifecycle.Publisher
+	if p, ok := opts.Store.(lifecycle.Publisher); ok {
+		pub = p
+	}
 	return &Server{
-		reg:     NewRegistry(opts.Store, opts.Registry),
-		timeout: opts.Timeout,
+		reg:       reg,
+		timeout:   opts.Timeout,
+		records:   feedback.NewRecords(opts.RecordCap),
+		detector:  feedback.NewDetector(opts.Drift),
+		flog:      opts.FeedbackLog,
+		mgr:       lifecycle.NewManager(reg, pub, opts.Lifecycle),
+		autoRecal: !opts.DisableAutoRecalibrate,
 	}
 }
 
 // Registry exposes the model registry (tests and the reload endpoint).
 func (s *Server) Registry() *Registry { return s.reg }
 
+// Lifecycle exposes the model-lifecycle manager (tests, opprox-pilot).
+func (s *Server) Lifecycle() *lifecycle.Manager { return s.mgr }
+
 // Handler returns the HTTP API:
 //
 //	POST /v1/dispatch  one job dispatch (DispatchRequest -> DispatchResponse)
+//	POST /v1/feedback  realized per-phase QoS for a served dispatch
+//	GET  /v1/models    lifecycle view: versions, health, shadow telemetry
+//	POST /v1/promote   make a model's shadow version live
+//	POST /v1/rollback  restore a model's previous live version
 //	POST /v1/reload    hot-reload cached models, last-good on failure
 //	GET  /healthz      liveness + cached-model count
 //	GET  /metricsz     obs.Default JSON snapshot
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/dispatch", s.handleDispatch)
+	mux.HandleFunc("/v1/feedback", s.handleFeedback)
+	mux.HandleFunc("/v1/models", s.handleModels)
+	mux.HandleFunc("/v1/promote", s.handlePromote)
+	mux.HandleFunc("/v1/rollback", s.handleRollback)
 	mux.HandleFunc("/v1/reload", s.handleReload)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/metricsz", s.handleMetrics)
@@ -124,6 +175,25 @@ type DispatchResponse struct {
 	// the models were unavailable; Reason says why.
 	Degraded bool   `json:"degraded"`
 	Reason   string `json:"degraded_reason,omitempty"`
+	// DispatchID keys later feedback (POST /v1/feedback) back to this
+	// dispatch. It is a content hash of (model, version, request,
+	// schedule) — deterministic, no clocks or randomness — so identical
+	// requests share an ID by construction. Empty on the degraded path:
+	// there is no model prediction to give feedback on.
+	DispatchID string `json:"dispatch_id,omitempty"`
+	// ModelVersion is the content-hash version of the model file that
+	// produced the schedule.
+	ModelVersion string `json:"model_version,omitempty"`
+	// PhasePredictions mirror Levels phase by phase: the model's
+	// predicted speedup and degradation for each served phase — the
+	// baseline a client's realized per-phase feedback is judged against.
+	PhasePredictions []PhasePrediction `json:"phase_predictions,omitempty"`
+}
+
+// PhasePrediction is one phase's predicted speedup and QoS degradation.
+type PhasePrediction struct {
+	Speedup     float64 `json:"speedup"`
+	Degradation float64 `json:"degradation"`
 }
 
 // errorBody is the JSON shape of every non-2xx response.
@@ -205,7 +275,7 @@ func (s *Server) dispatch(ctx context.Context, dreq *DispatchRequest) (*Dispatch
 }
 
 func (s *Server) dispatchSync(ctx context.Context, dreq *DispatchRequest) (*DispatchResponse, error) {
-	tr, err := s.reg.Get(ctx, dreq.ModelPath)
+	tr, ver, err := s.liveModel(ctx, dreq.ModelPath)
 	if err != nil {
 		if dreq.Strict || !errors.Is(err, ErrModelUnavailable) {
 			return nil, err
@@ -233,15 +303,64 @@ func (s *Server) dispatchSync(ctx context.Context, dreq *DispatchRequest) (*Disp
 	for ph, cfg := range plan.Schedule.Levels {
 		levels[ph] = append([]int{}, cfg...)
 	}
+
+	// Record the dispatch for the feedback loop: its deterministic ID
+	// plus the raw predictions and confidence bands each phase was served
+	// under (the exceedance baseline for the drift detector).
+	diags := make([]core.PhaseDiag, len(levels))
+	preds := make([]PhasePrediction, len(levels))
+	for ph := range levels {
+		diags[ph], err = tr.DiagnosePhase(dreq.Params, ph, approx.Config(levels[ph]))
+		if err != nil {
+			return nil, fmt.Errorf("%w: diagnosing served schedule: %v", ErrOptimize, err)
+		}
+		preds[ph] = PhasePrediction{
+			Speedup:     core.SpeedupFromScale(diags[ph].SpeedupRaw),
+			Degradation: core.DegradationFromScale(diags[ph].DegRaw),
+		}
+	}
+	id := dispatchID(dreq, ver, levels)
+	s.records.Put(&feedback.DispatchRecord{
+		ID:      id,
+		Model:   dreq.ModelPath,
+		Version: ver,
+		App:     dreq.App,
+		Budget:  dreq.Budget,
+		Params:  dreq.Params,
+		Phases:  len(levels),
+		Levels:  levels,
+		Diags:   diags,
+	})
+	s.evalShadow(dreq, levels)
+
 	return &DispatchResponse{
-		App:         dreq.App,
-		Budget:      dreq.Budget,
-		Phases:      plan.Schedule.Phases,
-		Levels:      levels,
-		Env:         plan.Env,
-		Speedup:     plan.Pred.Speedup,
-		Degradation: plan.Pred.Degradation,
+		App:              dreq.App,
+		Budget:           dreq.Budget,
+		Phases:           plan.Schedule.Phases,
+		Levels:           levels,
+		Env:              plan.Env,
+		Speedup:          plan.Pred.Speedup,
+		Degradation:      plan.Pred.Degradation,
+		DispatchID:       id,
+		ModelVersion:     ver,
+		PhasePredictions: preds,
 	}, nil
+}
+
+// liveModel resolves the live version of a model through the lifecycle
+// manager (which installs it into the registry cache). Load and
+// validation failures classify as ErrModelUnavailable — same contract as
+// the registry — while context errors pass through for the 504 path.
+func (s *Server) liveModel(ctx context.Context, name string) (*core.Trained, string, error) {
+	tr, ver, err := s.mgr.Live(ctx, name)
+	if err != nil {
+		if errors.Is(err, ErrModelUnavailable) ||
+			errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			return nil, "", err
+		}
+		return nil, "", fmt.Errorf("%w: %v", ErrModelUnavailable, err)
+	}
+	return tr, ver, nil
 }
 
 // reloadRequest is the body of POST /v1/reload. An empty body (or empty
@@ -277,12 +396,18 @@ func (s *Server) handleReload(w http.ResponseWriter, req *http.Request) {
 	defer cancel()
 	resp := reloadResponse{Reloaded: []string{}}
 	for _, name := range names {
-		if err := s.reg.Reload(ctx, name); err != nil {
+		changed, err := s.mgr.Reload(ctx, name)
+		if err != nil {
 			if resp.Failed == nil {
 				resp.Failed = map[string]string{}
 			}
 			resp.Failed[name] = err.Error()
 			continue
+		}
+		if changed {
+			// A new live version invalidates the drift evidence gathered
+			// against the old one.
+			s.detector.Reset(name)
 		}
 		resp.Reloaded = append(resp.Reloaded, name)
 	}

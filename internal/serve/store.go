@@ -7,9 +7,10 @@ import (
 	"path/filepath"
 )
 
-// Store abstracts where model files live. The registry only ever reads;
-// publishing new models is the trainer's job (write to a temp file, then
-// rename — the registry's hot reload picks the swap up atomically).
+// Store abstracts where model files live. The registry only ever reads.
+// A store that can also write implements Put (see FileStore); the server
+// detects that capability and uses it to persist lifecycle versions —
+// a read-only store still serves, with shadow versions held in memory.
 type Store interface {
 	// Open returns the named model file's contents. Implementations
 	// should return fs.ErrNotExist-wrapping errors for missing models so
@@ -27,14 +28,50 @@ type FileStore struct {
 
 // Open implements Store.
 func (s FileStore) Open(name string) (io.ReadCloser, error) {
-	path := name
-	if s.Root != "" {
-		// Reject rather than resolve: a name with "..", an absolute path
-		// or an empty name never silently maps to some in-root file.
-		if !filepath.IsLocal(name) {
-			return nil, fmt.Errorf("serve: model name %q escapes the store root", name)
-		}
-		path = filepath.Join(s.Root, name)
+	path, err := s.resolve(name)
+	if err != nil {
+		return nil, err
 	}
 	return os.Open(path)
+}
+
+// Put atomically publishes model bytes under name: write to a temp file
+// in the same directory, fsync, rename. A reader never observes a
+// half-written model, and a crash mid-publish leaves the old file
+// intact. This is the Publisher surface the lifecycle layer persists
+// shadow and promoted versions through.
+func (s FileStore) Put(name string, data []byte) error {
+	path, err := s.resolve(name)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op after a successful rename
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+func (s FileStore) resolve(name string) (string, error) {
+	if s.Root == "" {
+		return name, nil
+	}
+	// Reject rather than resolve: a name with "..", an absolute path
+	// or an empty name never silently maps to some in-root file.
+	if !filepath.IsLocal(name) {
+		return "", fmt.Errorf("serve: model name %q escapes the store root", name)
+	}
+	return filepath.Join(s.Root, name), nil
 }

@@ -42,7 +42,7 @@ sh scripts/serve-smoke.sh
 # shared CI machines are noisy.
 if [ "${BENCH:-0}" = "1" ]; then
     echo "== bench regression (>20% ns/op fails) =="
-    go run ./cmd/opprox-bench -against "BENCH_${PR:-3}.json" -max 0.20
+    go run ./cmd/opprox-bench -against "BENCH_${PR:-5}.json" -max 0.20
 fi
 
 echo "check: all green"

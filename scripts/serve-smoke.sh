@@ -1,8 +1,11 @@
 #!/bin/sh
 # opprox-serve smoke: build the binaries, train a small model set, start
 # the server on an ephemeral port, exercise one healthy dispatch and one
-# degraded dispatch (missing model file), check /healthz, then shut down
-# cleanly with SIGTERM. Everything runs out of a throwaway directory.
+# degraded dispatch (missing model file), check /healthz, then drive the
+# closed loop: drifted feedback flips the model to drifting and
+# dark-launches a shadow, a manual promote makes it live, a rollback
+# restores the original. Finally shut down cleanly with SIGTERM.
+# Everything runs out of a throwaway directory.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -21,7 +24,14 @@ go build -o "$tmp/opprox-serve" ./cmd/opprox-serve
 mkdir "$tmp/models"
 "$tmp/opprox" -app pso -phases 2 -budget 10 -save "$tmp/models/pso.json" >/dev/null
 
-"$tmp/opprox-serve" -addr 127.0.0.1:0 -models "$tmp/models" 2>"$tmp/serve.log" &
+# Tight drift thresholds so a couple of drifted reports trip the
+# detector; auto-promotion off so the manual /v1/promote path is what
+# the smoke exercises.
+"$tmp/opprox-serve" -addr 127.0.0.1:0 -models "$tmp/models" \
+    -drift-window 8 -drift-min-samples 4 -drift-exceed 0.5 \
+    -cusum-slack 0.02 -cusum-threshold 0.3 \
+    -auto-promote=false -feedback-log "$tmp/telemetry.jsonl" \
+    2>"$tmp/serve.log" &
 pid=$!
 
 # The server prints its ephemeral address on the "listening on" line.
@@ -63,6 +73,51 @@ echo "$resp" | grep -q '"degraded":true' || {
 echo "$resp" | grep -q '"predicted_speedup":1' || {
     echo "serve-smoke: degraded dispatch is not the all-accurate schedule: $resp" >&2; exit 1; }
 
+# --- closed loop: feedback -> drift -> shadow -> promote -> rollback ---
+
+body='{"app": "pso", "budget": 10, "model_path": "pso.json"}'
+resp=$(curl -sf -X POST -H 'Content-Type: application/json' -d "$body" "http://$addr/v1/dispatch")
+dispatch_id=$(echo "$resp" | sed -n 's/.*"dispatch_id":"\([^"]*\)".*/\1/p')
+[ -n "$dispatch_id" ] || {
+    echo "serve-smoke: dispatch response has no dispatch_id: $resp" >&2; exit 1; }
+v0=$(echo "$resp" | sed -n 's/.*"model_version":"\([^"]*\)".*/\1/p')
+[ -n "$v0" ] || {
+    echo "serve-smoke: dispatch response has no model_version: $resp" >&2; exit 1; }
+
+# Synthetic drift: realized values far off the predictions.
+fb="{\"dispatch_id\": \"$dispatch_id\", \"observations\": [
+  {\"phase\": 0, \"realized_speedup\": 10, \"realized_degradation\": 5},
+  {\"phase\": 1, \"realized_speedup\": 10, \"realized_degradation\": 5}]}"
+resp=$(curl -sf -X POST -H 'Content-Type: application/json' -d "$fb" "http://$addr/v1/feedback")
+echo "$resp" | grep -q '"state":"drifting"' || {
+    echo "serve-smoke: drifted feedback did not flip the model: $resp" >&2; exit 1; }
+echo "$resp" | grep -q '"shadow_created":"' || {
+    echo "serve-smoke: drift did not dark-launch a shadow: $resp" >&2; exit 1; }
+
+resp=$(curl -sf "http://$addr/v1/models")
+echo "$resp" | grep -q '"health":"drifting"' || {
+    echo "serve-smoke: /v1/models does not show drift: $resp" >&2; exit 1; }
+echo "$resp" | grep -q '"shadow":{' || {
+    echo "serve-smoke: /v1/models does not show the shadow: $resp" >&2; exit 1; }
+
+resp=$(curl -sf -X POST -H 'Content-Type: application/json' \
+    -d '{"model": "pso.json"}' "http://$addr/v1/promote")
+v1=$(echo "$resp" | sed -n 's/.*"live_version":"\([^"]*\)".*/\1/p')
+[ -n "$v1" ] && [ "$v1" != "$v0" ] || {
+    echo "serve-smoke: promote did not change the live version: $resp" >&2; exit 1; }
+
+resp=$(curl -sf "http://$addr/v1/models")
+echo "$resp" | grep -q "\"live_version\":\"$v1\"" || {
+    echo "serve-smoke: /v1/models did not flip to the promoted version: $resp" >&2; exit 1; }
+
+resp=$(curl -sf -X POST -H 'Content-Type: application/json' \
+    -d '{"model": "pso.json"}' "http://$addr/v1/rollback")
+echo "$resp" | grep -q "\"live_version\":\"$v0\"" || {
+    echo "serve-smoke: rollback did not restore the original version: $resp" >&2; exit 1; }
+
+[ -s "$tmp/telemetry.jsonl" ] || {
+    echo "serve-smoke: feedback telemetry log is empty" >&2; exit 1; }
+
 kill -TERM "$pid"
 if ! wait "$pid"; then
     echo "serve-smoke: server exited non-zero on SIGTERM" >&2
@@ -71,4 +126,4 @@ if ! wait "$pid"; then
 fi
 pid=""
 
-echo "serve-smoke: ok (1 dispatch, 1 degraded dispatch, clean shutdown)"
+echo "serve-smoke: ok (dispatch, degraded dispatch, drift -> shadow -> promote -> rollback, clean shutdown)"
