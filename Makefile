@@ -1,6 +1,6 @@
 # Convenience wrappers; scripts/check.sh is the tier-1 gate CI runs.
 
-.PHONY: build test check bench vet vet-json serve serve-smoke pilot-demo
+.PHONY: build test check bench vet vet-json serve serve-smoke shard-smoke pilot-demo
 
 build:
 	go build ./...
@@ -30,6 +30,12 @@ serve:
 # shutdown.
 serve-smoke:
 	sh scripts/serve-smoke.sh
+
+# shard-smoke starts a real 3-replica sharded fleet and drives the whole
+# lifecycle drill (dispatch, forwarded feedback, promote, rollback)
+# through a replica that does not own the model.
+shard-smoke:
+	sh scripts/shard-smoke.sh
 
 # pilot-demo replays the closed serving loop end to end: train a small
 # video-pipeline model, serve it, inject input drift through /v1/feedback

@@ -50,6 +50,8 @@ var defaultPackages = []string{
 	"./internal/ml/tree",
 	"./internal/core",
 	"./internal/feedback",
+	"./internal/serve",
+	"./internal/shard",
 }
 
 // Result is one benchmark measurement.

@@ -15,6 +15,7 @@
 //	POST /v1/promote   {"model": "pso.json"}
 //	POST /v1/rollback  {"model": "pso.json"}
 //	POST /v1/reload    {"model": "pso.json"}  (empty body reloads all)
+//	GET  /v1/cluster   shard topology: replicas + model ownership
 //	GET  /healthz
 //	GET  /metricsz
 //
@@ -33,6 +34,15 @@
 // its realized error beats the live version's. Shadow and promoted
 // versions are persisted into -models atomically; -feedback-log appends
 // every accepted observation as JSONL.
+//
+// Serving at scale: repeat dispatches are answered from a bounded
+// dispatch-plan cache (-plan-cache) and concurrent cold dispatches are
+// coalesced into batched optimization passes; both are transparent —
+// responses stay byte-identical to uncached serving. Passing
+// -shard-self and -shard-replicas makes this process one replica of a
+// sharded fleet: models are partitioned across replicas by rendezvous
+// hashing and any replica proxies requests for models it does not own
+// to the owner (see GET /v1/cluster).
 package main
 
 import (
@@ -45,6 +55,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -53,6 +64,23 @@ import (
 	"opprox/internal/obs"
 	"opprox/internal/serve"
 )
+
+// parseReplicas parses the -shard-replicas flag: comma-separated
+// name=url pairs.
+func parseReplicas(spec string) (map[string]string, error) {
+	replicas := map[string]string{}
+	for _, pair := range strings.Split(spec, ",") {
+		name, url, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || name == "" || url == "" {
+			return nil, fmt.Errorf("bad -shard-replicas entry %q (want name=url)", pair)
+		}
+		if _, dup := replicas[name]; dup {
+			return nil, fmt.Errorf("duplicate replica %q in -shard-replicas", name)
+		}
+		replicas[name] = url
+	}
+	return replicas, nil
+}
 
 func main() {
 	log.SetFlags(0)
@@ -75,6 +103,9 @@ func main() {
 	shadowSamples := flag.Int("shadow-samples", 0, "error samples required before auto-promotion (0: default)")
 	autoPromote := flag.Bool("auto-promote", true, "promote a shadow automatically once it beats the live version")
 	autoRecal := flag.Bool("auto-recalibrate", true, "dark-launch a recalibrated shadow when a model drifts")
+	planCache := flag.Int("plan-cache", 0, "dispatch-plan cache capacity (0: default, negative: disable)")
+	shardSelf := flag.String("shard-self", "", "this replica's name in a sharded fleet (requires -shard-replicas)")
+	shardReplicas := flag.String("shard-replicas", "", "comma-separated name=url replica set, including self (e.g. a=http://127.0.0.1:7077,b=http://127.0.0.1:7078)")
 	flag.Parse()
 
 	var flog *feedback.Log
@@ -109,7 +140,22 @@ func main() {
 		},
 		FeedbackLog:            flog,
 		DisableAutoRecalibrate: !*autoRecal,
+		PlanCacheCap:           *planCache,
 	})
+
+	if (*shardSelf == "") != (*shardReplicas == "") {
+		log.Fatal("-shard-self and -shard-replicas must be set together")
+	}
+	if *shardSelf != "" {
+		replicas, err := parseReplicas(*shardReplicas)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := srv.ConfigureCluster(serve.ClusterOptions{Self: *shardSelf, Replicas: replicas}); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("sharded: replica %q of %d", *shardSelf, len(replicas))
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,152 @@
+package flight
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// Batcher is the batched generalization of Group: like Group, concurrent
+// Do calls for the same key share one computation and completed results
+// (including errors) stay cached until Forget; unlike Group, concurrent
+// calls for *distinct* keys are drained by a single leader goroutine
+// that hands the whole pending set to one batch function. The serving
+// layer uses this to turn a burst of concurrent dispatches into one
+// batched Optimize pass over shared scratch: identical requests collapse
+// to a single computation, distinct requests amortize setup.
+//
+// The batch function must compute each key independently — results[i]
+// may depend only on keys[i]/payloads[i] — so that how a burst happened
+// to be grouped into batches can never change any individual result
+// (coalescing determinism; the serving conformance suite pins it).
+type Batcher[P, V any] struct {
+	run func(keys []string, payloads []P) ([]V, []error)
+
+	mu      sync.Mutex
+	slots   map[string]*bslot[V]
+	queue   []batchItem[P, V]
+	running bool
+}
+
+// bslot is one cached batched computation.
+type bslot[V any] struct {
+	done  chan struct{}
+	ready atomic.Bool // set once v/err are final; lets Peek avoid blocking
+	v     V
+	err   error
+}
+
+// batchItem is one queued computation. It carries its slot so delivery
+// still reaches waiters even if the key was Forgotten while queued —
+// the same "callers already blocked on the old flight still receive its
+// result" contract Group.Forget has.
+type batchItem[P, V any] struct {
+	key     string
+	payload P
+	slot    *bslot[V]
+}
+
+// NewBatcher builds a Batcher around a batch function. run receives the
+// pending keys in submission order with their payloads and must return
+// one result and one error per key (a short or nil errs slice means
+// success for the missing entries; a short vs slice is reported as an
+// error on the missing keys, never a zero-value success).
+func NewBatcher[P, V any](run func(keys []string, payloads []P) ([]V, []error)) *Batcher[P, V] {
+	return &Batcher[P, V]{run: run, slots: map[string]*bslot[V]{}}
+}
+
+// Do returns the value for key, computing it through the batch function
+// on first use. Concurrent callers for the same key block until the
+// in-flight computation finishes and share its result; concurrent
+// callers for distinct keys are computed together in one batch by
+// whichever caller found the batcher idle. The third return reports
+// whether the slot already existed before this call (a coalesced hit).
+// Results and errors stay cached until Forget, exactly like Group.Do.
+func (b *Batcher[P, V]) Do(key string, payload P) (V, error, bool) {
+	b.mu.Lock()
+	if s, ok := b.slots[key]; ok {
+		b.mu.Unlock()
+		<-s.done
+		return s.v, s.err, true
+	}
+	s := &bslot[V]{done: make(chan struct{})}
+	b.slots[key] = s
+	b.queue = append(b.queue, batchItem[P, V]{key: key, payload: payload, slot: s})
+	if b.running {
+		// A leader is draining; it will pick this item up on its next
+		// pass.
+		b.mu.Unlock()
+		<-s.done
+		return s.v, s.err, false
+	}
+	// Become the leader: drain the queue (including items that arrive
+	// while a batch is running) until it is empty.
+	b.running = true
+	for len(b.queue) > 0 {
+		items := b.queue
+		b.queue = nil
+		b.mu.Unlock()
+		b.runBatch(items)
+		b.mu.Lock()
+	}
+	b.running = false
+	b.mu.Unlock()
+	// Our own item completed in the first batch this leader ran.
+	<-s.done
+	return s.v, s.err, false
+}
+
+// runBatch executes one batch and delivers each result to its slot.
+func (b *Batcher[P, V]) runBatch(items []batchItem[P, V]) {
+	keys := make([]string, len(items))
+	payloads := make([]P, len(items))
+	for i, it := range items {
+		keys[i] = it.key
+		payloads[i] = it.payload
+	}
+	vs, errs := b.run(keys, payloads)
+	for i, it := range items {
+		if i < len(vs) {
+			it.slot.v = vs[i]
+		}
+		switch {
+		case errs != nil && i < len(errs) && errs[i] != nil:
+			it.slot.err = errs[i]
+		case i >= len(vs):
+			it.slot.err = fmt.Errorf("flight: batch returned %d results for %d keys", len(vs), len(items))
+		}
+		it.slot.ready.Store(true)
+		close(it.slot.done)
+	}
+}
+
+// Peek returns the completed, successful value for key without creating
+// a slot, blocking on an in-flight batch, or resurrecting a cached
+// error — the same semantics as Group.Peek.
+func (b *Batcher[P, V]) Peek(key string) (V, bool) {
+	b.mu.Lock()
+	s := b.slots[key]
+	b.mu.Unlock()
+	if s == nil || !s.ready.Load() || s.err != nil {
+		var zero V
+		return zero, false
+	}
+	return s.v, true
+}
+
+// Forget drops key so the next Do recomputes it. Callers already blocked
+// on the in-flight computation still receive its result; a key forgotten
+// while queued is still computed and delivered to those callers, and the
+// recomputation triggered by a later Do is a fresh, independent flight.
+func (b *Batcher[P, V]) Forget(key string) {
+	b.mu.Lock()
+	delete(b.slots, key)
+	b.mu.Unlock()
+}
+
+// Len reports the number of slots (completed or in flight).
+func (b *Batcher[P, V]) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.slots)
+}

@@ -1,0 +1,275 @@
+package flight
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// echoBatcher returns payload+1000 per key and counts batch invocations
+// and total keys computed.
+func echoBatcher(batches, computed *atomic.Int64) *Batcher[int, int] {
+	return NewBatcher(func(keys []string, payloads []int) ([]int, []error) {
+		batches.Add(1)
+		computed.Add(int64(len(keys)))
+		out := make([]int, len(payloads))
+		for i, p := range payloads {
+			out[i] = p + 1000
+		}
+		return out, nil
+	})
+}
+
+func TestBatcherCollapsesIdenticalKeys(t *testing.T) {
+	var batches, computed atomic.Int64
+	b := echoBatcher(&batches, &computed)
+
+	const callers = 16
+	var wg sync.WaitGroup
+	var hits atomic.Int64
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err, hit := b.Do("k", 7)
+			if err != nil || v != 1007 {
+				t.Errorf("Do = (%d, %v)", v, err)
+			}
+			if hit {
+				hits.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if computed.Load() != 1 {
+		t.Fatalf("computed %d times for one key, want 1", computed.Load())
+	}
+	if hits.Load() != callers-1 {
+		t.Fatalf("%d hits for %d callers, want %d", hits.Load(), callers, callers-1)
+	}
+	// The result stays cached until Forget.
+	if v, err, hit := b.Do("k", 999); v != 1007 || err != nil || !hit {
+		t.Fatalf("cached Do = (%d, %v, %v), want (1007, nil, true)", v, err, hit)
+	}
+	b.Forget("k")
+	if v, _, hit := b.Do("k", 8); v != 1008 || hit {
+		t.Fatalf("post-Forget Do = (%d, hit=%v), want fresh 1008", v, hit)
+	}
+}
+
+// TestBatcherGroupsDistinctKeys forces the batching shape: while the
+// leader is inside the batch function, distinct keys queue up and are
+// delivered together in the leader's next pass.
+func TestBatcherGroupsDistinctKeys(t *testing.T) {
+	firstEntered := make(chan struct{})
+	releaseFirst := make(chan struct{})
+	var sizes []int
+	var mu sync.Mutex
+	var calls atomic.Int64
+
+	b := NewBatcher(func(keys []string, payloads []int) ([]int, []error) {
+		if calls.Add(1) == 1 {
+			close(firstEntered)
+			<-releaseFirst
+		}
+		mu.Lock()
+		sizes = append(sizes, len(keys))
+		mu.Unlock()
+		out := make([]int, len(payloads))
+		for i, p := range payloads {
+			out[i] = p * 2
+		}
+		return out, nil
+	})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if v, err, _ := b.Do("a", 1); v != 2 || err != nil {
+			t.Errorf("a: (%d, %v)", v, err)
+		}
+	}()
+	<-firstEntered
+
+	// The leader is parked inside batch 1; these two enqueue behind it.
+	wg.Add(2)
+	started := make(chan struct{}, 2)
+	for i, key := range []string{"b", "c"} {
+		go func(key string, want int) {
+			defer wg.Done()
+			started <- struct{}{}
+			if v, err, _ := b.Do(key, want); v != want*2 || err != nil {
+				t.Errorf("%s: (%d, %v)", key, v, err)
+			}
+		}(key, i+2)
+	}
+	<-started
+	<-started
+	// Wait until both items are queued (Do enqueues before blocking, so
+	// poll the queue length through the lock).
+	for {
+		b.mu.Lock()
+		n := len(b.queue)
+		b.mu.Unlock()
+		if n == 2 {
+			break
+		}
+	}
+	close(releaseFirst)
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sizes) != 2 || sizes[0] != 1 || sizes[1] != 2 {
+		t.Fatalf("batch sizes %v, want [1 2] (queued keys batched together)", sizes)
+	}
+}
+
+func TestBatcherErrorsCachedUntilForget(t *testing.T) {
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	b := NewBatcher(func(keys []string, payloads []int) ([]int, []error) {
+		calls.Add(1)
+		errs := make([]error, len(keys))
+		for i := range errs {
+			errs[i] = boom
+		}
+		return make([]int, len(keys)), errs
+	})
+
+	if _, err, hit := b.Do("k", 1); !errors.Is(err, boom) || hit {
+		t.Fatalf("first Do: err=%v hit=%v", err, hit)
+	}
+	if _, err, hit := b.Do("k", 1); !errors.Is(err, boom) || !hit {
+		t.Fatalf("cached error Do: err=%v hit=%v, want cached boom", err, hit)
+	}
+	if _, ok := b.Peek("k"); ok {
+		t.Fatal("Peek resurrected an error slot")
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("error recomputed: %d calls", calls.Load())
+	}
+	b.Forget("k")
+	if _, err, hit := b.Do("k", 1); !errors.Is(err, boom) || hit {
+		t.Fatalf("post-Forget Do: err=%v hit=%v, want fresh flight", err, hit)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("Forget did not trigger recompute: %d calls", calls.Load())
+	}
+}
+
+func TestBatcherShortResultSlice(t *testing.T) {
+	b := NewBatcher(func(keys []string, payloads []int) ([]int, []error) {
+		return nil, nil // defective batch function: no results at all
+	})
+	_, err, _ := b.Do("k", 1)
+	if err == nil {
+		t.Fatal("short result slice reported as success")
+	}
+	want := "flight: batch returned 0 results for 1 keys"
+	if err.Error() != want {
+		t.Fatalf("err = %q, want %q", err, want)
+	}
+}
+
+func TestBatcherPeek(t *testing.T) {
+	var batches, computed atomic.Int64
+	b := echoBatcher(&batches, &computed)
+	if _, ok := b.Peek("k"); ok {
+		t.Fatal("Peek fabricated a slot")
+	}
+	b.Do("k", 5)
+	if v, ok := b.Peek("k"); !ok || v != 1005 {
+		t.Fatalf("Peek = (%d, %v), want (1005, true)", v, ok)
+	}
+	b.Forget("k")
+	if _, ok := b.Peek("k"); ok {
+		t.Fatal("Peek survived Forget")
+	}
+	if b.Len() != 0 {
+		t.Fatalf("Len = %d after Forget, want 0", b.Len())
+	}
+}
+
+// TestBatcherForgetDuringFlight pins the Group-compatible Forget
+// contract on the batch path: callers blocked on a computation still
+// receive its result after the key is forgotten mid-flight.
+func TestBatcherForgetDuringFlight(t *testing.T) {
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int64
+	b := NewBatcher(func(keys []string, payloads []int) ([]int, []error) {
+		if calls.Add(1) == 1 {
+			close(entered)
+			<-release
+		}
+		out := make([]int, len(payloads))
+		for i, p := range payloads {
+			out[i] = p
+		}
+		return out, nil
+	})
+
+	done := make(chan int)
+	go func() {
+		v, err, _ := b.Do("k", 42)
+		if err != nil {
+			t.Error(err)
+		}
+		done <- v
+	}()
+	<-entered
+	b.Forget("k") // the in-flight computation must still deliver
+	close(release)
+	if v := <-done; v != 42 {
+		t.Fatalf("in-flight caller got %d after Forget, want 42", v)
+	}
+	// The key is gone: the next Do is an independent flight.
+	if v, err, hit := b.Do("k", 43); v != 43 || err != nil || hit {
+		t.Fatalf("post-Forget Do = (%d, %v, %v), want fresh (43, nil, false)", v, err, hit)
+	}
+}
+
+// TestBatcherConcurrentStress mirrors the Group stress test across the
+// batch path: Do/Peek/Forget hammered from many goroutines must never
+// deadlock, race, or deliver a value no batch produced.
+func TestBatcherConcurrentStress(t *testing.T) {
+	b := NewBatcher(func(keys []string, payloads []int) ([]int, []error) {
+		out := make([]int, len(payloads))
+		for i, p := range payloads {
+			out[i] = p
+		}
+		return out, nil
+	})
+	const workers = 8
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%3)
+				gen := w*1000 + i
+				switch i % 3 {
+				case 0:
+					v, err, _ := b.Do(key, gen)
+					if err != nil || v < 0 {
+						t.Errorf("Do = (%d, %v)", v, err)
+						return
+					}
+				case 1:
+					if v, ok := b.Peek(key); ok && v < 0 {
+						t.Errorf("Peek saw invalid value %d", v)
+						return
+					}
+				case 2:
+					b.Forget(key)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -69,6 +69,12 @@ type Options struct {
 	// DisableAutoPromote turns automatic promotion off; /v1/promote
 	// still works.
 	DisableAutoPromote bool
+	// OnSwap, when set, is called with the base model name every time the
+	// live version changes (promote, rollback, reload). The serving layer
+	// hooks its dispatch-plan cache here so retired versions release their
+	// cached plans immediately. Called with the model's state lock held —
+	// the callback must not call back into the Manager.
+	OnSwap func(name string)
 }
 
 func (o Options) withDefaults() Options {
@@ -430,6 +436,7 @@ func (m *Manager) promoteLocked(st *modelState) error {
 	st.shadow = nil
 	m.reg.Install(st.name, st.live)
 	m.reg.Forget(VersionedName(st.name, st.prevVersion))
+	m.noteSwap(st.name)
 	obs.Inc("lifecycle.promote")
 	obs.LogEvent("lifecycle.promote", "%s: %s promoted over %s", st.name, st.liveVersion, st.prevVersion)
 	return nil
@@ -461,6 +468,7 @@ func (m *Manager) Rollback(name string) error {
 	st.liveRaw, st.prevRaw = st.prevRaw, st.liveRaw
 	st.shadow = nil
 	m.reg.Install(st.name, st.live)
+	m.noteSwap(st.name)
 	obs.Inc("lifecycle.rollback")
 	obs.LogEvent("lifecycle.rollback", "%s: rolled back to %s (from %s)", st.name, st.liveVersion, st.prevVersion)
 	return nil
@@ -496,8 +504,16 @@ func (m *Manager) Reload(ctx context.Context, name string) (bool, error) {
 	st.liveVersion, st.live, st.liveRaw = ver, tr, raw
 	st.shadow = nil
 	m.reg.Install(name, tr)
+	m.noteSwap(name)
 	obs.Inc("lifecycle.reload")
 	return true, nil
+}
+
+// noteSwap fires the OnSwap hook after a live-version change.
+func (m *Manager) noteSwap(name string) {
+	if m.opts.OnSwap != nil {
+		m.opts.OnSwap(name)
+	}
 }
 
 // ShadowStatus is the dark-launch telemetry exposed per model.

@@ -23,6 +23,10 @@ import (
 //     an unknown dispatch ID on /v1/feedback, an unresolved model on
 //     /v1/promote or /v1/rollback. Distinct from ErrModelUnavailable:
 //     nothing is expected to heal; the client sent a stale or wrong name.
+//   - ErrPeerUnavailable: a sharded deployment routed the request to the
+//     replica that owns its model, and that replica could not be reached.
+//     The request itself is fine; retrying may succeed once the peer
+//     heals or the topology is rebuilt without it.
 //   - Request timeouts (context.DeadlineExceeded/Canceled, wrapped or
 //     bare) map to 504 "timeout": the request was fine, the server ran
 //     out of budget.
@@ -31,6 +35,7 @@ var (
 	ErrModelUnavailable = errors.New("serve: model unavailable")
 	ErrOptimize         = errors.New("serve: optimization failed")
 	ErrNotFound         = errors.New("serve: not found")
+	ErrPeerUnavailable  = errors.New("serve: peer unavailable")
 )
 
 // errCode is the machine-readable code clients switch on.
@@ -44,6 +49,8 @@ func errCode(err error) string {
 		return "optimize_failed"
 	case errors.Is(err, ErrNotFound):
 		return "not_found"
+	case errors.Is(err, ErrPeerUnavailable):
+		return "peer_unavailable"
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return "timeout"
 	default:
@@ -62,6 +69,8 @@ func httpStatus(err error) int {
 		return http.StatusUnprocessableEntity
 	case errors.Is(err, ErrNotFound):
 		return http.StatusNotFound
+	case errors.Is(err, ErrPeerUnavailable):
+		return http.StatusBadGateway
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout
 	default:

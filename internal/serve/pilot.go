@@ -12,11 +12,13 @@ package serve
 // clock, a random source, or map iteration order on a decision path.
 
 import (
+	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 
 	"opprox/internal/approx"
@@ -124,8 +126,13 @@ func (s *Server) handleFeedback(w http.ResponseWriter, req *http.Request) {
 		writeError(w, fmt.Errorf("%w: %s not allowed on /v1/feedback", ErrBadRequest, req.Method))
 		return
 	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxRequestBytes))
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: reading body: %v", ErrBadRequest, err))
+		return
+	}
 	var report feedback.Report
-	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxRequestBytes))
+	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&report); err != nil {
 		writeError(w, fmt.Errorf("%w: decoding body: %v", ErrBadRequest, err))
@@ -133,6 +140,11 @@ func (s *Server) handleFeedback(w http.ResponseWriter, req *http.Request) {
 	}
 	rec, ok := s.records.Get(report.DispatchID)
 	if !ok {
+		// In a sharded fleet the record lives on the replica that served
+		// the dispatch; relay the report there before declaring it unknown.
+		if s.forwardFeedback(w, req, report.DispatchID, raw) {
+			return
+		}
 		obs.Inc("serve.feedback.unknown_dispatch")
 		writeError(w, fmt.Errorf("%w: dispatch %q", ErrNotFound, report.DispatchID))
 		return
@@ -288,8 +300,13 @@ func (s *Server) handleLifecycleSwap(w http.ResponseWriter, req *http.Request, p
 		writeError(w, fmt.Errorf("%w: %s not allowed on %s", ErrBadRequest, req.Method, path))
 		return
 	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxRequestBytes))
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: reading body: %v", ErrBadRequest, err))
+		return
+	}
 	var mreq modelRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxRequestBytes))
+	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&mreq); err != nil {
 		writeError(w, fmt.Errorf("%w: decoding body: %v", ErrBadRequest, err))
@@ -297,6 +314,12 @@ func (s *Server) handleLifecycleSwap(w http.ResponseWriter, req *http.Request, p
 	}
 	if mreq.Model == "" {
 		writeError(w, fmt.Errorf("%w: missing model", ErrBadRequest))
+		return
+	}
+	// Lifecycle state lives on the model's owner (version-coherent
+	// routing): a promote or rollback anywhere in the fleet lands on the
+	// same replica every dispatch for that model is served from.
+	if s.proxyToOwner(w, req, mreq.Model, path, raw) {
 		return
 	}
 	if err := op(mreq.Model); err != nil {

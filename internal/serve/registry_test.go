@@ -25,7 +25,7 @@ import (
 var trainedModelOnce sync.Once
 var trainedModelBytes []byte
 
-func trainedModelJSON(t *testing.T) []byte {
+func trainedModelJSON(t testing.TB) []byte {
 	t.Helper()
 	trainedModelOnce.Do(func() {
 		opts := core.DefaultOptions()

@@ -24,6 +24,7 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -36,6 +37,7 @@ import (
 	"opprox/internal/approx"
 	"opprox/internal/core"
 	"opprox/internal/feedback"
+	"opprox/internal/flight"
 	"opprox/internal/launch"
 	"opprox/internal/lifecycle"
 	"opprox/internal/obs"
@@ -74,6 +76,9 @@ type Options struct {
 	// DisableAutoRecalibrate turns off the drift response: models still
 	// flip to drifting/stale, but no shadow is created automatically.
 	DisableAutoRecalibrate bool
+	// PlanCacheCap bounds the dispatch-plan cache (0: DefaultPlanCacheCap;
+	// negative: disable caching — every dispatch recomputes).
+	PlanCacheCap int
 }
 
 // Server answers dispatch requests against a model registry. Create with
@@ -89,6 +94,16 @@ type Server struct {
 	flog      *feedback.Log
 	mgr       *lifecycle.Manager
 	autoRecal bool
+
+	// Dispatch acceleration: the plan cache answers repeat dispatches
+	// from cached bytes; the batcher coalesces concurrent misses into one
+	// batched Optimize pass. Both are transparent — see DESIGN.md §12.
+	plans *planCache
+	batch *flight.Batcher[planWork, []byte]
+
+	// cluster is non-nil when this server is one replica of a sharded
+	// fleet (ConfigureCluster); nil serves standalone.
+	cluster *cluster
 }
 
 // New builds a Server over a model store.
@@ -104,15 +119,28 @@ func New(opts Options) *Server {
 	if p, ok := opts.Store.(lifecycle.Publisher); ok {
 		pub = p
 	}
-	return &Server{
+	s := &Server{
 		reg:       reg,
 		timeout:   opts.Timeout,
 		records:   feedback.NewRecords(opts.RecordCap),
 		detector:  feedback.NewDetector(opts.Drift),
 		flog:      opts.FeedbackLog,
-		mgr:       lifecycle.NewManager(reg, pub, opts.Lifecycle),
 		autoRecal: !opts.DisableAutoRecalibrate,
+		plans:     newPlanCache(opts.PlanCacheCap),
 	}
+	s.batch = flight.NewBatcher(s.runPlanBatch)
+	// Every live-version swap (promote/rollback/reload) drops the old
+	// version's cached plans; a caller-provided hook still runs after.
+	lcOpts := opts.Lifecycle
+	callerSwap := lcOpts.OnSwap
+	lcOpts.OnSwap = func(name string) {
+		s.plans.invalidateModel(name)
+		if callerSwap != nil {
+			callerSwap(name)
+		}
+	}
+	s.mgr = lifecycle.NewManager(reg, pub, lcOpts)
+	return s
 }
 
 // Registry exposes the model registry (tests and the reload endpoint).
@@ -129,6 +157,7 @@ func (s *Server) Lifecycle() *lifecycle.Manager { return s.mgr }
 //	POST /v1/promote   make a model's shadow version live
 //	POST /v1/rollback  restore a model's previous live version
 //	POST /v1/reload    hot-reload cached models, last-good on failure
+//	GET  /v1/cluster   shard topology: replicas + model ownership
 //	GET  /healthz      liveness + cached-model count
 //	GET  /metricsz     obs.Default JSON snapshot
 func (s *Server) Handler() http.Handler {
@@ -139,6 +168,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/promote", s.handlePromote)
 	mux.HandleFunc("/v1/rollback", s.handleRollback)
 	mux.HandleFunc("/v1/reload", s.handleReload)
+	mux.HandleFunc("/v1/cluster", s.handleCluster)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/metricsz", s.handleMetrics)
 	return mux
@@ -203,14 +233,28 @@ type errorBody struct {
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
-	b, err := json.Marshal(v)
+	b, err := marshalBody(v)
 	if err != nil {
 		http.Error(w, `{"error":"internal","detail":"encoding response"}`, http.StatusInternalServerError)
 		return
 	}
+	writeBody(w, status, b)
+}
+
+// marshalBody renders the canonical wire form of a response value — the
+// same bytes whether they are written directly, cached, or replayed.
+func marshalBody(v any) ([]byte, error) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return nil, fmt.Errorf("encoding response: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+func writeBody(w http.ResponseWriter, status int, body []byte) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	w.Write(append(b, '\n'))
+	w.Write(body)
 }
 
 func writeError(w http.ResponseWriter, err error) {
@@ -226,8 +270,16 @@ func (s *Server) handleDispatch(w http.ResponseWriter, req *http.Request) {
 		writeError(w, fmt.Errorf("%w: %s not allowed on /v1/dispatch", ErrBadRequest, req.Method))
 		return
 	}
+	// The raw body is retained so a sharded proxy hop forwards it
+	// verbatim — re-marshaling could reorder fields and break the
+	// byte-identity contract across replicas.
+	raw, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxRequestBytes))
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: reading body: %v", ErrBadRequest, err))
+		return
+	}
 	var dreq DispatchRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxRequestBytes))
+	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&dreq); err != nil {
 		writeError(w, fmt.Errorf("%w: decoding body: %v", ErrBadRequest, err))
@@ -237,54 +289,94 @@ func (s *Server) handleDispatch(w http.ResponseWriter, req *http.Request) {
 		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
 		return
 	}
+	if s.proxyToOwner(w, req, dreq.ModelPath, "/v1/dispatch", raw) {
+		return
+	}
 
 	ctx, cancel := context.WithTimeout(req.Context(), s.timeout)
 	defer cancel()
-	resp, err := s.dispatch(ctx, &dreq)
+	body, degraded, err := s.dispatch(ctx, &dreq)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
-	if resp.Degraded {
+	if degraded {
 		obs.Inc("serve.dispatch.degraded")
 	}
-	writeJSON(w, http.StatusOK, resp)
+	writeBody(w, http.StatusOK, body)
 }
 
 // dispatch runs one request under its context: the optimizer is not
 // context-aware, so the work runs in a goroutine and the request gives
 // up (504) when the deadline fires first. The goroutine finishes its
 // (bounded) optimization and parks its result in the buffered channel.
-func (s *Server) dispatch(ctx context.Context, dreq *DispatchRequest) (*DispatchResponse, error) {
+func (s *Server) dispatch(ctx context.Context, dreq *DispatchRequest) (body []byte, degraded bool, err error) {
 	type result struct {
-		resp *DispatchResponse
-		err  error
+		body     []byte
+		degraded bool
+		err      error
 	}
 	ch := make(chan result, 1)
 	go func() {
-		resp, err := s.dispatchSync(ctx, dreq)
-		ch <- result{resp, err}
+		body, degraded, err := s.dispatchBody(ctx, dreq)
+		ch <- result{body, degraded, err}
 	}()
 	select {
 	case r := <-ch:
-		return r.resp, r.err
+		return r.body, r.degraded, r.err
 	case <-ctx.Done():
 		obs.Inc("serve.dispatch.timeout")
-		return nil, ctx.Err()
+		return nil, false, ctx.Err()
 	}
 }
 
-func (s *Server) dispatchSync(ctx context.Context, dreq *DispatchRequest) (*DispatchResponse, error) {
+// planWork is one queued dispatch computation: the request plus the
+// live model pinned at resolution time, so every member of a batch is
+// computed against exactly the version its cache key names.
+type planWork struct {
+	dreq *DispatchRequest
+	tr   *core.Trained
+	ver  string
+}
+
+// dispatchBody produces the serialized response for one dispatch.
+//
+// Fast path: if the model is already resolved, the plan-cache key is
+// built into pooled scratch and looked up — a hit returns the cached
+// bytes with zero heap allocations (a test pins this). Miss path: the
+// live model is resolved (possibly degrading), then the computation is
+// coalesced through the batcher — concurrent identical dispatches
+// collapse onto one slot, concurrent distinct dispatches run as one
+// batched pass — and the result lands in the plan cache.
+func (s *Server) dispatchBody(ctx context.Context, dreq *DispatchRequest) (body []byte, degraded bool, err error) {
+	kb := planKeyPool.Get().(*planKey)
+	if ver, ok := s.mgr.LiveVersion(dreq.ModelPath); ok {
+		appendPlanKey(kb, dreq, ver)
+		if e := s.plans.get(kb.buf); e != nil {
+			// Re-arm the feedback loop: the record may have been evicted
+			// from the FIFO store since the plan was cached (Put ignores
+			// IDs already present), and a dark-launched shadow still sees
+			// every dispatch, cached or not.
+			s.records.Put(e.rec)
+			s.evalShadow(dreq, e.rec.Levels)
+			kb.release()
+			return e.body, false, nil
+		}
+	}
+	kb.release()
+
 	tr, ver, err := s.liveModel(ctx, dreq.ModelPath)
 	if err != nil {
 		if dreq.Strict || !errors.Is(err, ErrModelUnavailable) {
-			return nil, err
+			return nil, false, err
 		}
 		// Degradation contract: the job still launches, with the
 		// all-accurate schedule. OPPROX_PHASES=1 and no per-block
 		// variables decodes (launch.DecodeEnv) to level 0 everywhere for
-		// any block set, so the fallback needs no model knowledge.
-		return &DispatchResponse{
+		// any block set, so the fallback needs no model knowledge. Never
+		// cached: the degraded body embeds the failure reason, and the
+		// path does no optimization worth saving.
+		body, merr := marshalBody(&DispatchResponse{
 			App:      dreq.App,
 			Budget:   dreq.Budget,
 			Phases:   1,
@@ -293,8 +385,50 @@ func (s *Server) dispatchSync(ctx context.Context, dreq *DispatchRequest) (*Disp
 			Speedup:  1,
 			Degraded: true,
 			Reason:   err.Error(),
-		}, nil
+		})
+		if merr != nil {
+			return nil, false, merr
+		}
+		return body, true, nil
 	}
+
+	// Coalesce the computation under the same key the plan cache uses —
+	// with the version pinned here, so a promote landing mid-batch can
+	// never mix versions within one response. Forget after Do keeps the
+	// batcher bounded (the plan cache is the durable layer) and makes
+	// errors retryable.
+	kb = planKeyPool.Get().(*planKey)
+	appendPlanKey(kb, dreq, ver)
+	key := string(kb.buf)
+	kb.release()
+	body, err, _ = s.batch.Do(key, planWork{dreq: dreq, tr: tr, ver: ver})
+	s.batch.Forget(key)
+	if err != nil {
+		return nil, false, err
+	}
+	return body, false, nil
+}
+
+// runPlanBatch is the batcher's batch function: one pass computing every
+// pending dispatch. The computations run sequentially in the leader
+// goroutine, so the optimizer's pooled arena scratch is reused across
+// the whole batch instead of contended across goroutines. Each result
+// depends only on its own (request, pinned model) — grouping can never
+// change a body (invariant D12).
+func (s *Server) runPlanBatch(keys []string, works []planWork) ([][]byte, []error) {
+	bodies := make([][]byte, len(works))
+	errs := make([]error, len(works))
+	for i, wk := range works {
+		bodies[i], errs[i] = s.computePlan(keys[i], wk)
+	}
+	return bodies, errs
+}
+
+// computePlan optimizes one dispatch against its pinned model version,
+// records it for the feedback loop, dark-launch-evaluates any shadow,
+// serializes the response, and installs the bytes in the plan cache.
+func (s *Server) computePlan(key string, wk planWork) ([]byte, error) {
+	dreq, tr, ver := wk.dreq, wk.tr, wk.ver
 	plan, err := launch.DispatchTrained(&dreq.JobConfig, tr)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrOptimize, err)
@@ -320,7 +454,7 @@ func (s *Server) dispatchSync(ctx context.Context, dreq *DispatchRequest) (*Disp
 		}
 	}
 	id := dispatchID(dreq, ver, levels)
-	s.records.Put(&feedback.DispatchRecord{
+	rec := &feedback.DispatchRecord{
 		ID:      id,
 		Model:   dreq.ModelPath,
 		Version: ver,
@@ -330,10 +464,11 @@ func (s *Server) dispatchSync(ctx context.Context, dreq *DispatchRequest) (*Disp
 		Phases:  len(levels),
 		Levels:  levels,
 		Diags:   diags,
-	})
+	}
+	s.records.Put(rec)
 	s.evalShadow(dreq, levels)
 
-	return &DispatchResponse{
+	body, err := marshalBody(&DispatchResponse{
 		App:              dreq.App,
 		Budget:           dreq.Budget,
 		Phases:           plan.Schedule.Phases,
@@ -344,7 +479,15 @@ func (s *Server) dispatchSync(ctx context.Context, dreq *DispatchRequest) (*Disp
 		DispatchID:       id,
 		ModelVersion:     ver,
 		PhasePredictions: preds,
-	}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Only now, with the exact bytes a cold request just received, does
+	// the plan enter the cache — a hit replays these bytes verbatim, so
+	// cache transparency (invariant D10) holds by construction.
+	s.plans.put(key, dreq.ModelPath, body, rec)
+	return body, nil
 }
 
 // liveModel resolves the live version of a model through the lifecycle
@@ -381,11 +524,21 @@ func (s *Server) handleReload(w http.ResponseWriter, req *http.Request) {
 		writeError(w, fmt.Errorf("%w: %s not allowed on /v1/reload", ErrBadRequest, req.Method))
 		return
 	}
+	raw, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxRequestBytes))
+	if err != nil {
+		writeError(w, fmt.Errorf("%w: reading body: %v", ErrBadRequest, err))
+		return
+	}
 	var rreq reloadRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, maxRequestBytes))
+	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&rreq); err != nil && !errors.Is(err, io.EOF) {
 		writeError(w, fmt.Errorf("%w: decoding body: %v", ErrBadRequest, err))
+		return
+	}
+	// A model-specific reload routes to the model's owner; an empty
+	// reload is per-replica (each replica refreshes its own shard).
+	if s.proxyToOwner(w, req, rreq.Model, "/v1/reload", raw) {
 		return
 	}
 	names := s.reg.Models()

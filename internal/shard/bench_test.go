@@ -1,0 +1,47 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkOwner is the per-request routing decision: one rendezvous
+// scan over a production-sized replica set. Must stay allocation-free —
+// it runs on every dispatch in a sharded fleet.
+func BenchmarkOwner(b *testing.B) {
+	names := make([]string, 8)
+	for i := range names {
+		names[i] = fmt.Sprintf("replica-%d", i)
+	}
+	tbl, err := New(names...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := tbl.Owner("pso.json"); !ok {
+			b.Fatal("no owner")
+		}
+	}
+}
+
+// BenchmarkRank is the fallback-order computation used on feedback
+// forwarding; it allocates its result slice by contract.
+func BenchmarkRank(b *testing.B) {
+	names := make([]string, 8)
+	for i := range names {
+		names[i] = fmt.Sprintf("replica-%d", i)
+	}
+	tbl, err := New(names...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if r := tbl.Rank("0123456789abcdef"); len(r) != 8 {
+			b.Fatal("bad rank")
+		}
+	}
+}

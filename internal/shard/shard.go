@@ -1,0 +1,128 @@
+// Package shard assigns keys to replicas by rendezvous (highest-random-
+// weight) hashing: every replica scores every key with an independent
+// hash, and the key belongs to the replica with the highest score. The
+// properties the serving layer leans on:
+//
+//   - Deterministic. The score function is FNV-1a over fixed bytes — no
+//     seeds, no process state — so every replica of a fleet computes the
+//     same owner for the same key, across processes, restarts and builds
+//     (a golden test pins the routing so it can never change silently).
+//   - Minimal disruption. Removing a replica reassigns only the keys it
+//     owned (each surviving replica's scores are unchanged, so a key's
+//     argmax moves only if its owner vanished); adding a replica steals
+//     only the keys it now wins. No ring positions, no token shuffling.
+//   - Uniform. FNV-1a scores are well distributed, so keys spread evenly
+//     across replicas (a balance test bounds the skew across 1..8
+//     replicas).
+//
+// The table is immutable after New: topology changes build a new table,
+// which keeps every lookup lock-free and allocation-free.
+package shard
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Table is an immutable rendezvous-hash routing table over a replica
+// set. The zero value routes nothing; build with New.
+type Table struct {
+	replicas []string
+}
+
+// New builds a table over the given replica names. Names are deduped and
+// sorted; empty names are rejected — a silent empty replica would eat a
+// share of the keyspace no server answers for.
+func New(replicas ...string) (*Table, error) {
+	seen := make(map[string]bool, len(replicas))
+	uniq := make([]string, 0, len(replicas))
+	for _, r := range replicas {
+		if r == "" {
+			return nil, fmt.Errorf("shard: empty replica name")
+		}
+		if seen[r] {
+			continue
+		}
+		seen[r] = true
+		uniq = append(uniq, r)
+	}
+	sort.Strings(uniq)
+	return &Table{replicas: uniq}, nil
+}
+
+// Len reports the number of replicas.
+func (t *Table) Len() int { return len(t.replicas) }
+
+// Replicas returns the replica names, sorted. The slice is a copy.
+func (t *Table) Replicas() []string {
+	return append([]string(nil), t.replicas...)
+}
+
+// Owner returns the replica that owns key — the highest-scoring replica,
+// ties broken toward the lexicographically smaller name so the choice is
+// total. ok is false for an empty table.
+func (t *Table) Owner(key string) (owner string, ok bool) {
+	if len(t.replicas) == 0 {
+		return "", false
+	}
+	best := t.replicas[0]
+	bestScore := score(t.replicas[0], key)
+	for _, r := range t.replicas[1:] {
+		// Replicas are sorted, so a strict > keeps the smallest name on
+		// ties.
+		if s := score(r, key); s > bestScore {
+			best, bestScore = r, s
+		}
+	}
+	return best, true
+}
+
+// Rank returns every replica ordered by descending score for key (the
+// owner first), ties broken by name. Callers use the tail as the
+// deterministic fallback/fan-out order when the owner cannot answer.
+func (t *Table) Rank(key string) []string {
+	type scored struct {
+		name   string
+		weight uint64
+	}
+	rr := make([]scored, len(t.replicas))
+	for i, r := range t.replicas {
+		rr[i] = scored{name: r, weight: score(r, key)}
+	}
+	sort.Slice(rr, func(i, j int) bool {
+		if rr[i].weight != rr[j].weight {
+			return rr[i].weight > rr[j].weight
+		}
+		return rr[i].name < rr[j].name
+	})
+	out := make([]string, len(rr))
+	for i, x := range rr {
+		out[i] = x.name
+	}
+	return out
+}
+
+// fnv-1a 64-bit parameters (the algorithm is fully specified, which is
+// what makes the routing build-stable).
+const (
+	offset64 = 14695981039346656037
+	prime64  = 1099511628211
+)
+
+// score is the rendezvous weight of (replica, key): FNV-1a over the
+// replica name, a zero separator, and the key. Inlined rather than
+// hash/fnv so the routing path performs no allocation.
+func score(replica, key string) uint64 {
+	h := uint64(offset64)
+	for i := 0; i < len(replica); i++ {
+		h ^= uint64(replica[i])
+		h *= prime64
+	}
+	h ^= 0
+	h *= prime64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}

@@ -1,0 +1,187 @@
+package shard
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("a", ""); err == nil {
+		t.Fatal("empty replica name accepted")
+	}
+	tbl, err := New("b", "a", "b", "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Len() != 2 {
+		t.Fatalf("Len = %d after dedupe, want 2", tbl.Len())
+	}
+	got := tbl.Replicas()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Replicas = %v, want [a b] sorted", got)
+	}
+	if _, ok := (&Table{}).Owner("k"); ok {
+		t.Fatal("empty table claimed an owner")
+	}
+}
+
+// TestOwnerGolden pins the routing function itself: these assignments
+// may never change between builds, or a rolling fleet upgrade would
+// split ownership of a model between replicas running old and new
+// binaries. If this test fails, the hash changed — that is a breaking
+// wire-compatibility event, not a test to update casually.
+func TestOwnerGolden(t *testing.T) {
+	tbl, err := New("alpha", "beta", "gamma")
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := map[string]string{
+		"pso.json":     "beta",
+		"lulesh.json":  "gamma",
+		"comd.json":    "alpha",
+		"vidpipe.json": "alpha",
+		"tracker.json": "alpha",
+		"":             "alpha",
+	}
+	for key, want := range golden {
+		owner, ok := tbl.Owner(key)
+		if !ok {
+			t.Fatalf("Owner(%q) not ok", key)
+		}
+		if owner != want {
+			t.Errorf("Owner(%q) = %q, want golden %q", key, owner, want)
+		}
+	}
+}
+
+func replicaSet(n int) []string {
+	rs := make([]string, n)
+	for i := range rs {
+		rs[i] = fmt.Sprintf("replica-%d", i)
+	}
+	return rs
+}
+
+// TestBalance bounds the keyspace skew for every fleet size the smoke
+// and conformance setups use: with 10k keys no replica may hold less
+// than half or more than twice its fair share.
+func TestBalance(t *testing.T) {
+	const keys = 10000
+	for n := 1; n <= 8; n++ {
+		tbl, err := New(replicaSet(n)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[string]int{}
+		for i := 0; i < keys; i++ {
+			owner, ok := tbl.Owner(fmt.Sprintf("model-%d.json", i))
+			if !ok {
+				t.Fatalf("n=%d: no owner", n)
+			}
+			counts[owner]++
+		}
+		fair := float64(keys) / float64(n)
+		for _, r := range tbl.Replicas() {
+			c := counts[r]
+			if float64(c) < fair/2 || float64(c) > fair*2 {
+				t.Errorf("n=%d: %s owns %d keys, fair share %.0f (counts %v)", n, r, c, fair, counts)
+			}
+		}
+	}
+}
+
+// TestMinimalDisruption is rendezvous hashing's defining property: a
+// topology change moves only the keys it must. Adding a replica steals
+// keys only for itself; removing one reassigns only the keys it owned.
+func TestMinimalDisruption(t *testing.T) {
+	const keys = 2000
+	for n := 1; n <= 7; n++ {
+		before, err := New(replicaSet(n)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		added := fmt.Sprintf("replica-%d", n)
+		after, err := New(append(replicaSet(n), added)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for i := 0; i < keys; i++ {
+			key := fmt.Sprintf("model-%d.json", i)
+			was, _ := before.Owner(key)
+			now, _ := after.Owner(key)
+			if now != was {
+				if now != added {
+					t.Fatalf("n=%d key %q moved %s -> %s, not to the added replica", n, key, was, now)
+				}
+				moved++
+			}
+		}
+		// The added replica should win roughly 1/(n+1) of the keys — and
+		// must win some, or the "addition" did nothing.
+		if moved == 0 {
+			t.Fatalf("n=%d: added replica stole no keys", n)
+		}
+
+		// Removal: drop replica-0; every key it did not own stays put.
+		removed := "replica-0"
+		shrunk, err := New(replicaSet(n + 1)[1:]...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			continue
+		}
+		for i := 0; i < keys; i++ {
+			key := fmt.Sprintf("model-%d.json", i)
+			was, _ := after.Owner(key)
+			now, ok := shrunk.Owner(key)
+			if !ok {
+				t.Fatalf("n=%d: shrunk table empty", n)
+			}
+			if was != removed && now != was {
+				t.Fatalf("n=%d key %q moved %s -> %s though %s was removed", n, key, was, now, removed)
+			}
+		}
+	}
+}
+
+func TestRankProperties(t *testing.T) {
+	tbl, err := New(replicaSet(5)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		rank := tbl.Rank(key)
+		if len(rank) != tbl.Len() {
+			t.Fatalf("Rank(%q) has %d entries, want %d", key, len(rank), tbl.Len())
+		}
+		owner, _ := tbl.Owner(key)
+		if rank[0] != owner {
+			t.Fatalf("Rank(%q)[0] = %s, Owner = %s", key, rank[0], owner)
+		}
+		seen := map[string]bool{}
+		for _, r := range rank {
+			if seen[r] {
+				t.Fatalf("Rank(%q) repeats %s", key, r)
+			}
+			seen[r] = true
+		}
+		again := tbl.Rank(key)
+		for j := range rank {
+			if again[j] != rank[j] {
+				t.Fatalf("Rank(%q) not deterministic: %v vs %v", key, rank, again)
+			}
+		}
+	}
+}
+
+func TestScoreDistinguishesBoundary(t *testing.T) {
+	// The zero separator between replica and key means ("ab","c") and
+	// ("a","bc") hash different byte streams; a plain concatenation
+	// would collide them.
+	if score("ab", "c") == score("a", "bc") {
+		t.Fatal("replica/key boundary not separated in the hash")
+	}
+}

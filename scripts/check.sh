@@ -36,13 +36,18 @@ echo "== opprox-serve smoke =="
 # one degraded dispatch, shut down cleanly.
 sh scripts/serve-smoke.sh
 
+echo "== opprox-serve shard smoke =="
+# Start a real 3-replica sharded fleet and drive dispatch, forwarded
+# feedback, promote and rollback through a non-owner replica.
+sh scripts/shard-smoke.sh
+
 # Opt-in perf gate: BENCH=1 re-runs the kernel benchmark set and fails on
 # a >20% ns/op regression against the committed trajectory file. Off by
 # default because benchmark wall time dwarfs the rest of the gate and
 # shared CI machines are noisy.
 if [ "${BENCH:-0}" = "1" ]; then
     echo "== bench regression (>20% ns/op fails) =="
-    go run ./cmd/opprox-bench -against "BENCH_${PR:-5}.json" -max 0.20
+    go run ./cmd/opprox-bench -against "BENCH_${PR:-6}.json" -max 0.20
 fi
 
 echo "check: all green"
