@@ -1,6 +1,6 @@
 # Convenience wrappers; scripts/check.sh is the tier-1 gate CI runs.
 
-.PHONY: build test check bench vet vet-json serve serve-smoke shard-smoke pilot-demo
+.PHONY: build test check bench vet vet-json scan serve serve-smoke shard-smoke pilot-demo
 
 build:
 	go build ./...
@@ -53,3 +53,10 @@ vet:
 # findings), for machine consumption.
 vet-json:
 	go run ./cmd/opprox-vet -severity warning -json ./...
+
+# scan runs static approximable-block discovery over the module and
+# writes the ranked candidate report to opprox-scan.json. Both vet and
+# scan cache per-package results under .opprox-cache/ keyed on content
+# hashes, so warm runs re-analyze only what changed.
+scan:
+	go run ./cmd/opprox-scan -out opprox-scan.json ./...

@@ -1,0 +1,127 @@
+// Command opprox-scan statically discovers candidate approximable blocks
+// (ABs) in a Go module: float-dominated loop nests, free of side effects,
+// reducing into state that outlives them. It ranks candidates by a static
+// approximability score and can emit an instrumented-harness skeleton
+// wiring the discovered blocks to OPPROX's env-driven phase schedules.
+//
+// Usage:
+//
+//	opprox-scan [flags] [package-pattern ...]
+//
+// Patterns are module-relative directories ("internal/apps", "./..."),
+// defaulting to ./... from the module root. Flags:
+//
+//	-json             write the JSON report to stdout instead of text
+//	-out file         also write the JSON report to file
+//	-harness file     write a generated harness skeleton to file
+//	-harness-pkg name package name for the generated harness (default harness)
+//	-min-ops n        minimum float operations per candidate (default 1)
+//	-parallel n       packages scanned concurrently (default 4); the
+//	                  report is identical at any setting
+//	-cache-dir dir    per-package result cache root, resolved against the
+//	                  module root (default .opprox-cache)
+//	-no-cache         scan everything fresh, reading and writing no cache
+//
+// Exit status: 0 on success (candidates are informational, never a
+// failure), 2 on usage or load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"opprox/internal/analysis"
+	"opprox/internal/analysis/discover"
+)
+
+func main() {
+	var (
+		jsonOut    = flag.Bool("json", false, "write the JSON report to stdout instead of the text ranking")
+		outFile    = flag.String("out", "", "also write the JSON report to this file")
+		harness    = flag.String("harness", "", "write a generated harness skeleton to this file")
+		harnessPkg = flag.String("harness-pkg", "harness", "package name for the generated harness")
+		minOps     = flag.Int("min-ops", 1, "minimum float operations per candidate")
+		parallel   = flag.Int("parallel", 4, "packages scanned concurrently")
+		cacheDir   = flag.String("cache-dir", ".opprox-cache", "per-package result cache root (relative to the module root)")
+		noCache    = flag.Bool("no-cache", false, "scan everything fresh; read and write no cache")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: opprox-scan [flags] [package-pattern ...]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	loader, err := analysis.NewLoader(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "opprox-scan:", err)
+		os.Exit(2)
+	}
+	var cache *analysis.Cache
+	if !*noCache {
+		dir := *cacheDir
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(loader.ModuleDir(), dir)
+		}
+		cache = &analysis.Cache{Dir: dir}
+	}
+
+	opts := discover.Options{MinOps: *minOps, Parallel: *parallel}
+	report, stats, err := discover.RunCached(loader, cache, opts, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "opprox-scan:", err)
+		os.Exit(2)
+	}
+
+	if *outFile != "" {
+		if err := writeFile(*outFile, report.WriteJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "opprox-scan:", err)
+			os.Exit(2)
+		}
+	}
+	if *harness != "" {
+		src, err := discover.GenerateHarness(report, *harnessPkg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "opprox-scan:", err)
+			os.Exit(2)
+		}
+		if err := os.WriteFile(*harness, src, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "opprox-scan:", err)
+			os.Exit(2)
+		}
+	}
+
+	if *jsonOut {
+		if err := report.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "opprox-scan:", err)
+			os.Exit(2)
+		}
+		return
+	}
+	if err := report.RenderText(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "opprox-scan:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("opprox-scan: %d packages (%d cached), %d candidates\n",
+		report.Packages, stats.Hits, len(report.Candidates))
+}
+
+// writeFile creates name and streams write into it.
+func writeFile(name string, write func(w io.Writer) error) error {
+	f, err := os.Create(name)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -13,7 +13,18 @@
 //	-severity level   minimum severity that fails the run (info|warning|error)
 //	-json             write the JSON report to stdout instead of text
 //	-out file         also write the JSON report to file
+//	-pkg list         comma-separated package filters applied to the
+//	                  expanded pattern set ("pso", "internal/apps/...",
+//	                  "opprox/internal/*")
+//	-cache-dir dir    per-package result cache root, resolved against the
+//	                  module root (default .opprox-cache)
+//	-no-cache         analyze everything fresh, reading and writing no cache
 //	-list             list registered analyzers and exit
+//
+// Results are cached per package, keyed on a content hash of the package's
+// sources, its in-module import closure, the analyzer set and the Go
+// version; a warm run re-analyzes only what changed and produces a report
+// byte-identical to a cold run.
 //
 // Exit status: 0 clean, 1 findings at or above the threshold, 2 usage or
 // load error. False positives are silenced in place with
@@ -24,6 +35,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"opprox/internal/analysis"
 )
@@ -33,6 +45,9 @@ func main() {
 		severity = flag.String("severity", "warning", "minimum severity that fails the run (info|warning|error)")
 		jsonOut  = flag.Bool("json", false, "write the JSON report to stdout instead of text diagnostics")
 		outFile  = flag.String("out", "", "also write the JSON report to this file")
+		pkgList  = flag.String("pkg", "", "comma-separated package filters (name, dir/..., or glob)")
+		cacheDir = flag.String("cache-dir", ".opprox-cache", "per-package result cache root (relative to the module root)")
+		noCache  = flag.Bool("no-cache", false, "analyze everything fresh; read and write no cache")
 		list     = flag.Bool("list", false, "list registered analyzers and exit")
 	)
 	flag.Usage = func() {
@@ -64,15 +79,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "opprox-vet:", err)
 		os.Exit(2)
 	}
-	pkgs, err := loader.Load(patterns...)
+
+	var cache *analysis.Cache
+	if !*noCache {
+		dir := *cacheDir
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(loader.ModuleDir(), dir)
+		}
+		cache = &analysis.Cache{Dir: dir}
+	}
+	var only func(string) bool
+	if *pkgList != "" {
+		only = func(path string) bool { return analysis.MatchAnyPackage(*pkgList, path) }
+	}
+
+	analyzers := analysis.All()
+	report, stats, err := loader.RunCached(cache, analyzers, patterns, only)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "opprox-vet:", err)
 		os.Exit(2)
 	}
-
-	analyzers := analysis.All()
-	diags := loader.Run(pkgs, analyzers)
-	report := analysis.NewReport(patterns, pkgs, analyzers, diags)
 
 	if *outFile != "" {
 		f, err := os.Create(*outFile)
@@ -90,16 +116,16 @@ func main() {
 		}
 	}
 
-	failing := len(analysis.Unsuppressed(diags, min))
+	failing := len(analysis.Unsuppressed(report.Diagnostics, min))
 	if *jsonOut {
 		if err := report.WriteJSON(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "opprox-vet:", err)
 			os.Exit(2)
 		}
 	} else {
-		analysis.WriteText(os.Stdout, diags, min)
-		fmt.Printf("opprox-vet: %d packages, %d findings at or above %s (%d suppressed)\n",
-			report.Packages, failing, min, report.Suppressed)
+		analysis.WriteText(os.Stdout, report.Diagnostics, min)
+		fmt.Printf("opprox-vet: %d packages (%d cached), %d findings at or above %s (%d suppressed)\n",
+			report.Packages, stats.Hits, failing, min, report.Suppressed)
 	}
 	if failing > 0 {
 		os.Exit(1)

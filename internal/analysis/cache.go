@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Cache is a content-addressed on-disk store for per-package analysis
+// results: <dir>/<component>/<key>.json. Keys are package-graph content
+// hashes (GraphHashes), so invalidation is implicit — any change to a
+// package, one of its in-module dependencies, the analyzer set, or the
+// Go toolchain produces a new key and the stale entry is simply never
+// read again. Entries are written atomically (temp file + rename), so a
+// crashed or concurrent run can never leave a torn entry behind.
+type Cache struct {
+	// Dir is the cache root, conventionally ".opprox-cache" at the
+	// module root.
+	Dir string
+}
+
+// Get decodes the entry for key into v, reporting whether a valid entry
+// existed. Any unreadable or undecodable entry is treated as a miss.
+func (c *Cache) Get(component, key string, v any) bool {
+	data, err := os.ReadFile(c.entryPath(component, key))
+	if err != nil {
+		return false
+	}
+	return json.Unmarshal(data, v) == nil
+}
+
+// Put stores v under key, atomically.
+func (c *Cache) Put(component, key string, v any) error {
+	dir := filepath.Join(c.Dir, component)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, key+".tmp*")
+	if err != nil {
+		return err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return err
+	}
+	return os.Rename(tmp.Name(), c.entryPath(component, key))
+}
+
+func (c *Cache) entryPath(component, key string) string {
+	return filepath.Join(c.Dir, component, key+".json")
+}
+
+// CacheStats reports what a cached run did: how many packages were served
+// from the cache and which had to be type-checked and re-analyzed.
+type CacheStats struct {
+	// Packages is the number of packages the pattern set matched.
+	Packages int
+	// Hits is the number served from the cache.
+	Hits int
+	// Analyzed lists the import paths type-checked and analyzed this
+	// run, sorted.
+	Analyzed []string
+}
+
+// vetEntry is one cached package's diagnostics.
+type vetEntry struct {
+	Package     string       `json:"package"`
+	Diagnostics []Diagnostic `json:"diagnostics"`
+}
+
+// RunCached is the incremental form of Load + Run + NewReport: it hashes
+// the package graph, reuses cached per-package diagnostics where the hash
+// matches, and type-checks only the rest. A nil analyzer slice means
+// All(); a nil cache degrades to a plain uncached run; a non-nil `only`
+// keeps just the matched packages (the -pkg flag) and composes with the
+// cache — filtering happens after hashing, so kept and dropped packages
+// share cache entries with unfiltered runs. The returned report is
+// byte-identical to an uncached run over the same tree — diagnostics are
+// produced per package either way, and the merge order is the canonical
+// sort — which is the cache-coherence invariant the tier-1 gate relies on
+// (DESIGN.md §13).
+func (l *Loader) RunCached(c *Cache, analyzers []*Analyzer, patterns []string, only func(importPath string) bool) (Report, CacheStats, error) {
+	if analyzers == nil {
+		analyzers = All()
+	}
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	salt := l.CacheSalt(vetCacheEpoch, analyzers, "internal/analysis")
+	roots, err := l.GraphHashes(salt, patterns...)
+	if err != nil {
+		return Report{}, CacheStats{}, err
+	}
+	if only != nil {
+		kept := roots[:0]
+		for _, ph := range roots {
+			if only(ph.Path) {
+				kept = append(kept, ph)
+			}
+		}
+		roots = kept
+	}
+	var diags []Diagnostic
+	stats := CacheStats{Packages: len(roots)}
+	for _, ph := range roots {
+		var e vetEntry
+		if c != nil && c.Get("vet", ph.Hash, &e) && e.Package == ph.Path {
+			stats.Hits++
+			diags = append(diags, e.Diagnostics...)
+			continue
+		}
+		pkg, err := l.LoadDir(ph.Dir, "")
+		if err != nil {
+			return Report{}, stats, err
+		}
+		if pkg == nil {
+			return Report{}, stats, fmt.Errorf("analysis: no Go files in %s", ph.Path)
+		}
+		pd := l.Run([]*Package{pkg}, analyzers)
+		stats.Analyzed = append(stats.Analyzed, ph.Path)
+		diags = append(diags, pd...)
+		if c != nil {
+			if err := c.Put("vet", ph.Hash, vetEntry{Package: ph.Path, Diagnostics: pd}); err != nil {
+				return Report{}, stats, fmt.Errorf("analysis: writing cache entry for %s: %w", ph.Path, err)
+			}
+		}
+	}
+	sort.Strings(stats.Analyzed)
+	SortDiagnostics(diags)
+	return newReport(patterns, len(roots), analyzers, diags), stats, nil
+}

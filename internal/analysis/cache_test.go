@@ -1,0 +1,403 @@
+package analysis_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"opprox/internal/analysis"
+	"opprox/internal/analysis/discover"
+)
+
+// writeTempModule lays out a three-package module for cache tests:
+// b imports a (so mutating a must re-analyze both), c is independent.
+// Package a carries a deliberate floatacc finding; everything is
+// dependency-free so loading never touches the standard library.
+func writeTempModule(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module example.com/cachemod\n\ngo 1.21\n",
+		"a/a.go": `package a
+
+// Sum carries a floatacc finding: float reduction over map order.
+func Sum(m map[string]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// Kernel is a pure float loop the scanner discovers.
+func Kernel(xs []float64) float64 {
+	acc := 0.0
+	for i := 0; i < len(xs); i++ {
+		acc += xs[i] * xs[i]
+	}
+	return acc
+}
+`,
+		"b/b.go": `package b
+
+import "example.com/cachemod/a"
+
+// Mean leans on a.Sum; its analysis depends on package a's sources.
+func Mean(m map[string]float64) float64 {
+	if len(m) == 0 {
+		return 0
+	}
+	return a.Sum(m) / float64(len(m))
+}
+`,
+		"c/c.go": `package c
+
+// Scale is independent of a and b.
+func Scale(xs []float64, k float64) {
+	for i := range xs {
+		xs[i] *= k
+	}
+}
+`,
+	}
+	for name, src := range files {
+		p := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+// vetJSON runs the cached vet over the temp module with a fresh loader
+// (a loader memoizes type-checked packages, so reuse would hide staleness)
+// and returns the report bytes and stats.
+func vetJSON(t *testing.T, dir string, cache *analysis.Cache) ([]byte, analysis.CacheStats) {
+	t.Helper()
+	l, err := analysis.NewLoader(dir)
+	if err != nil {
+		t.Fatalf("NewLoader: %v", err)
+	}
+	rep, stats, err := l.RunCached(cache, nil, []string{"./..."}, nil)
+	if err != nil {
+		t.Fatalf("RunCached: %v", err)
+	}
+	var b bytes.Buffer
+	if err := rep.WriteJSON(&b); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	return b.Bytes(), stats
+}
+
+// TestVetCacheColdWarmMutate is the cache-correctness gate: a cold run
+// analyzes everything, a warm run analyzes nothing and reproduces the
+// report byte for byte, and mutating one package re-analyzes exactly that
+// package and its dependents.
+func TestVetCacheColdWarmMutate(t *testing.T) {
+	dir := writeTempModule(t)
+	cache := &analysis.Cache{Dir: filepath.Join(dir, ".opprox-cache")}
+
+	cold, stats := vetJSON(t, dir, cache)
+	if stats.Packages != 3 || stats.Hits != 0 || len(stats.Analyzed) != 3 {
+		t.Fatalf("cold run: %+v, want 3 packages all analyzed", stats)
+	}
+	if !strings.Contains(string(cold), `"analyzer": "floatacc"`) {
+		t.Fatalf("cold report lost the seeded floatacc finding:\n%s", cold)
+	}
+
+	warm, stats := vetJSON(t, dir, cache)
+	if stats.Hits != 3 || len(stats.Analyzed) != 0 {
+		t.Fatalf("warm run: %+v, want 3 hits and nothing analyzed", stats)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("warm report differs from cold:\n--- cold ---\n%s--- warm ---\n%s", cold, warm)
+	}
+
+	// Mutate package a: append a second finding-free function. a and its
+	// dependent b must re-analyze; c must hit.
+	aFile := filepath.Join(dir, "a", "a.go")
+	src, err := os.ReadFile(aFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src = append(src, []byte("\nfunc Twice(x float64) float64 { return 2 * x }\n")...)
+	if err := os.WriteFile(aFile, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	mutated, stats := vetJSON(t, dir, cache)
+	want := []string{"example.com/cachemod/a", "example.com/cachemod/b"}
+	if stats.Hits != 1 || !reflect.DeepEqual(stats.Analyzed, want) {
+		t.Fatalf("post-mutation run: %+v, want exactly a and b re-analyzed", stats)
+	}
+	if !strings.Contains(string(mutated), `"analyzer": "floatacc"`) {
+		t.Fatalf("mutated report lost the floatacc finding:\n%s", mutated)
+	}
+
+	// The mutated tree's cached report must equal a fresh uncached run.
+	uncached, _ := vetJSON(t, dir, nil)
+	if !bytes.Equal(mutated, uncached) {
+		t.Fatalf("cached report after mutation differs from uncached:\n--- cached ---\n%s--- uncached ---\n%s", mutated, uncached)
+	}
+}
+
+// TestScanCacheColdWarmMutate proves the same coherence invariant for
+// opprox-scan's candidate cache.
+func TestScanCacheColdWarmMutate(t *testing.T) {
+	dir := writeTempModule(t)
+	cache := &analysis.Cache{Dir: filepath.Join(dir, ".opprox-cache")}
+
+	scanJSON := func(c *analysis.Cache) ([]byte, analysis.CacheStats) {
+		l, err := analysis.NewLoader(dir)
+		if err != nil {
+			t.Fatalf("NewLoader: %v", err)
+		}
+		rep, stats, err := discover.RunCached(l, c, discover.Options{}, []string{"./..."})
+		if err != nil {
+			t.Fatalf("discover.RunCached: %v", err)
+		}
+		var b bytes.Buffer
+		if err := rep.WriteJSON(&b); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return b.Bytes(), stats
+	}
+
+	cold, stats := scanJSON(cache)
+	if stats.Packages != 3 || stats.Hits != 0 {
+		t.Fatalf("cold scan: %+v", stats)
+	}
+	if !strings.Contains(string(cold), `"a_kernel_l15"`) {
+		t.Fatalf("cold scan missed the seeded kernel candidate:\n%s", cold)
+	}
+
+	warm, stats := scanJSON(cache)
+	if stats.Hits != 3 || len(stats.Analyzed) != 0 {
+		t.Fatalf("warm scan: %+v, want 3 hits", stats)
+	}
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("warm scan differs from cold:\n--- cold ---\n%s--- warm ---\n%s", cold, warm)
+	}
+
+	// Grow c by one discoverable loop; only c re-scans.
+	cFile := filepath.Join(dir, "c", "c.go")
+	src, err := os.ReadFile(cFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src = append(src, []byte("\nfunc Dot(a, b []float64) float64 {\n\ts := 0.0\n\tfor i := range a {\n\t\ts += a[i] * b[i]\n\t}\n\treturn s\n}\n")...)
+	if err := os.WriteFile(cFile, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mutated, stats := scanJSON(cache)
+	if stats.Hits != 2 || !reflect.DeepEqual(stats.Analyzed, []string{"example.com/cachemod/c"}) {
+		t.Fatalf("post-mutation scan: %+v, want only c re-scanned", stats)
+	}
+	if !strings.Contains(string(mutated), `"c_dot_l12"`) {
+		t.Fatalf("mutated scan missed the new candidate:\n%s", mutated)
+	}
+}
+
+// TestWarmVetSpeedup is the acceptance benchmark: over a real slice of
+// the repository, a warm cached run must be at least 5x faster than the
+// cold run that populated the cache — the warm path only hashes files and
+// never type-checks — while reproducing the report byte for byte.
+func TestWarmVetSpeedup(t *testing.T) {
+	cacheDir := t.TempDir()
+	cache := &analysis.Cache{Dir: cacheDir}
+	patterns := []string{"./internal/approx/...", "./internal/apps/...", "./internal/launch/..."}
+
+	run := func(c *analysis.Cache) ([]byte, time.Duration) {
+		l, err := analysis.NewLoader(".")
+		if err != nil {
+			t.Fatalf("NewLoader: %v", err)
+		}
+		start := time.Now()
+		rep, _, err := l.RunCached(c, nil, patterns, nil)
+		elapsed := time.Since(start)
+		if err != nil {
+			t.Fatalf("RunCached: %v", err)
+		}
+		var b bytes.Buffer
+		if err := rep.WriteJSON(&b); err != nil {
+			t.Fatalf("WriteJSON: %v", err)
+		}
+		return b.Bytes(), elapsed
+	}
+
+	cold, coldTime := run(cache)
+	warm, warmTime := run(cache)
+	if !bytes.Equal(cold, warm) {
+		t.Fatalf("warm report differs from cold")
+	}
+	if coldTime < 5*warmTime {
+		t.Errorf("warm run not >=5x faster: cold=%v warm=%v", coldTime, warmTime)
+	}
+}
+
+// TestPkgFilter covers the -pkg flag's matcher and its composition with
+// the cached runner.
+func TestPkgFilter(t *testing.T) {
+	cases := []struct {
+		pattern, path string
+		want          bool
+	}{
+		{"pso", "opprox/internal/apps/pso", true},
+		{"apps/pso", "opprox/internal/apps/pso", true},
+		{"pso", "opprox/internal/apps/tracker", false},
+		{"internal/apps/...", "opprox/internal/apps/pso", true},
+		{"internal/apps/...", "opprox/internal/apps", true},
+		{"internal/apps/...", "opprox/internal/approx", false},
+		{"opprox/internal/*", "opprox/internal/approx", true},
+		{"opprox/internal/*", "opprox/internal/apps/pso", false},
+		{"opprox/internal/apps/pso", "opprox/internal/apps/pso", true},
+		{"app", "opprox/internal/apps", false},
+	}
+	for _, tc := range cases {
+		if got := analysis.MatchPackage(tc.pattern, tc.path); got != tc.want {
+			t.Errorf("MatchPackage(%q, %q) = %v, want %v", tc.pattern, tc.path, got, tc.want)
+		}
+	}
+	if !analysis.MatchAnyPackage("", "anything/at/all") {
+		t.Error("empty -pkg list must match everything")
+	}
+	if !analysis.MatchAnyPackage("tracker, pso", "opprox/internal/apps/pso") {
+		t.Error("comma-separated -pkg list should match pso")
+	}
+
+	l := loader(t)
+	only := func(path string) bool { return analysis.MatchAnyPackage("pso", path) }
+	rep, stats, err := l.RunCached(nil, nil, []string{"./internal/apps/..."}, only)
+	if err != nil {
+		t.Fatalf("RunCached: %v", err)
+	}
+	if rep.Packages != 1 || stats.Packages != 1 {
+		t.Errorf("-pkg pso kept %d packages, want 1", rep.Packages)
+	}
+	for _, d := range rep.Diagnostics {
+		if !strings.Contains(d.File, "pso") {
+			t.Errorf("filtered report contains foreign diagnostic %s", d)
+		}
+	}
+}
+
+// TestRunCachedMatchesUncached pins the coherence invariant at the API
+// level: with no cache at all, RunCached must equal Load+Run+NewReport.
+func TestRunCachedMatchesUncached(t *testing.T) {
+	l := loader(t)
+	patterns := []string{"./internal/apps/..."}
+	rep, _, err := l.RunCached(nil, nil, patterns, nil)
+	if err != nil {
+		t.Fatalf("RunCached: %v", err)
+	}
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	plain := analysis.NewReport(patterns, pkgs, analysis.All(), l.Run(pkgs, nil))
+	var a, b bytes.Buffer
+	if err := rep.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("cached and plain runners disagree:\n--- cached ---\n%s--- plain ---\n%s", a.String(), b.String())
+	}
+}
+
+// TestReportDecodeCompat decodes a PR 2-era report (written before
+// schema_version and go_version existed) and asserts the additive schema
+// reads it intact.
+func TestReportDecodeCompat(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("testdata", "report_v1.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep analysis.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("decoding v1 report: %v", err)
+	}
+	if rep.Schema() != 1 {
+		t.Errorf("Schema() = %d for a pre-versioning report, want 1", rep.Schema())
+	}
+	if rep.GoVersion != "" {
+		t.Errorf("v1 report grew a go_version: %q", rep.GoVersion)
+	}
+	if rep.Packages != 12 || len(rep.Diagnostics) != 2 || rep.Suppressed != 1 {
+		t.Errorf("v1 fields decoded wrong: %+v", rep)
+	}
+	d := rep.Diagnostics[0]
+	if d.Analyzer != "globalrand" || d.Severity != analysis.Error || d.Line != 42 {
+		t.Errorf("v1 diagnostic decoded wrong: %+v", d)
+	}
+	if !rep.Diagnostics[1].Suppressed {
+		t.Error("v1 suppressed flag lost in decode")
+	}
+	// A freshly written report must carry the current schema version.
+	var fresh analysis.Report
+	var buf bytes.Buffer
+	if err := analysis.NewReport(nil, nil, nil, nil).WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf.Bytes(), &fresh); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.Schema() != analysis.ReportSchemaVersion {
+		t.Errorf("fresh report Schema() = %d, want %d", fresh.Schema(), analysis.ReportSchemaVersion)
+	}
+}
+
+// TestSuppressionMultiLine pins origin matching: a directive above (or
+// on) the first line of a multi-line statement silences findings on its
+// continuation lines, while a directive floating mid-literal does not.
+func TestSuppressionMultiLine(t *testing.T) {
+	l := loader(t)
+	pkg, err := l.LoadDir(filepath.Join("testdata", "src", "suppressml"), "")
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	diags := l.Run([]*analysis.Package{pkg}, []*analysis.Analyzer{analysis.Lookup("globalrand")})
+	got := render(diags)
+
+	goldenPath := filepath.Join("testdata", "suppressml.golden")
+	if *update {
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatalf("write golden: %v", err)
+		}
+	} else {
+		want, err := os.ReadFile(goldenPath)
+		if err != nil {
+			t.Fatalf("read golden (run with -update to create): %v", err)
+		}
+		if got != string(want) {
+			t.Errorf("diagnostics differ from %s\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+		}
+	}
+
+	if len(diags) != 4 {
+		t.Fatalf("got %d diagnostics, want 4:\n%s", len(diags), got)
+	}
+	suppressed := 0
+	for _, d := range diags {
+		if d.Suppressed {
+			suppressed++
+		}
+	}
+	if suppressed != 3 {
+		t.Errorf("got %d suppressed, want 3 (AboveLiteral, OnLiteral, WrappedArgs):\n%s", suppressed, got)
+	}
+	bad := analysis.Unsuppressed(diags, analysis.Info)
+	if len(bad) != 1 || bad[0].Line != 55 {
+		t.Errorf("want exactly the InsideLiteral finding (line 55) unsuppressed, got:\n%s", render(bad))
+	}
+}

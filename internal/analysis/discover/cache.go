@@ -1,0 +1,88 @@
+package discover
+
+import (
+	"fmt"
+	"sort"
+
+	"opprox/internal/analysis"
+)
+
+// scanCacheEpoch invalidates every scan cache entry when bumped. The salt
+// additionally covers the scanner and analysis implementation sources (in
+// the self-hosting case), the Go version and MinOps, so behavior changes
+// invalidate automatically.
+const scanCacheEpoch = "opprox-scan-cache/v1"
+
+// scanEntry is one cached package's candidates.
+type scanEntry struct {
+	Package    string      `json:"package"`
+	Candidates []Candidate `json:"candidates"`
+}
+
+// RunCached is the incremental form of Scan: per-package candidate lists
+// are cached under the same content-addressed scheme opprox-vet uses
+// (analysis.GraphHashes), so a warm run re-scans only packages whose
+// sources — or in-module dependency closure — changed. The report is
+// byte-identical to an uncached Scan over the same tree, minus nothing:
+// candidates are produced per package either way and merged in the
+// canonical rank order (the cache-coherence invariant, DESIGN.md §13).
+// A nil cache degrades to a plain uncached scan.
+func RunCached(l *analysis.Loader, c *analysis.Cache, opts Options, patterns []string) (*Report, analysis.CacheStats, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	minOps := opts.MinOps
+	if minOps < 1 {
+		minOps = 1
+	}
+	salt := l.CacheSalt(fmt.Sprintf("%s/minops=%d", scanCacheEpoch, minOps), nil,
+		"internal/analysis", "internal/analysis/discover")
+	roots, err := l.GraphHashes(salt, patterns...)
+	if err != nil {
+		return nil, analysis.CacheStats{}, err
+	}
+	stats := analysis.CacheStats{Packages: len(roots)}
+	lists := make([][]Candidate, len(roots))
+	var missIdx []int
+	var missPkgs []*analysis.Package
+	for i, ph := range roots {
+		var e scanEntry
+		if c != nil && c.Get("scan", ph.Hash, &e) && e.Package == ph.Path {
+			stats.Hits++
+			lists[i] = e.Candidates
+			continue
+		}
+		pkg, err := l.LoadDir(ph.Dir, "")
+		if err != nil {
+			return nil, stats, err
+		}
+		if pkg == nil {
+			return nil, stats, fmt.Errorf("discover: no Go files in %s", ph.Path)
+		}
+		missIdx = append(missIdx, i)
+		missPkgs = append(missPkgs, pkg)
+		stats.Analyzed = append(stats.Analyzed, ph.Path)
+	}
+	if len(missPkgs) > 0 {
+		sc := NewScanner(l)
+		scanned, err := sc.scanPackages(opts, missPkgs)
+		if err != nil {
+			return nil, stats, err
+		}
+		for j, i := range missIdx {
+			lists[i] = scanned[j]
+			if c != nil {
+				if err := c.Put("scan", roots[i].Hash, scanEntry{Package: roots[i].Path, Candidates: scanned[j]}); err != nil {
+					return nil, stats, fmt.Errorf("discover: writing cache entry for %s: %w", roots[i].Path, err)
+				}
+			}
+		}
+	}
+	sort.Strings(stats.Analyzed)
+	var cands []Candidate
+	for _, list := range lists {
+		cands = append(cands, list...)
+	}
+	SortCandidates(cands)
+	return newReport(l.ModulePath(), patterns, len(roots), cands), stats, nil
+}

@@ -1,0 +1,376 @@
+// Package discover implements opprox-scan's static discovery pass: it
+// walks a module's packages and identifies candidate approximable blocks
+// (ABs) — float-dominated loop nests, free of side effects, that reduce
+// into state living outside the loop — and ranks them by a static
+// approximability score. The output is the starting inventory a tuner
+// (or a human) refines into the hand-curated block lists the apps ship
+// with; every hand-built AB in internal/apps surfaces here first.
+package discover
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+	"sync"
+
+	"opprox/internal/analysis"
+)
+
+// Knob kinds: the syntactic shapes a tuner can turn into an approximation
+// lever inside a candidate block.
+const (
+	// KnobStride — an integer remainder (i % k): a sampling stride.
+	KnobStride = "stride"
+	// KnobThreshold — a comparison against a numeric constant: a
+	// convergence tolerance or cutoff.
+	KnobThreshold = "threshold"
+	// KnobConst — a use of a named package-level numeric constant: an
+	// iteration count, degree or resolution parameter.
+	KnobConst = "const"
+	// KnobLevel — a call to an approx combinator (or other higher-order
+	// iterator): the level argument is the knob.
+	KnobLevel = "level"
+)
+
+// Knob is one tunable lever discovered inside a candidate block.
+type Knob struct {
+	Kind string `json:"kind"`
+	Name string `json:"name"`
+	Line int    `json:"line"`
+}
+
+// Candidate is one discovered approximable-block candidate.
+type Candidate struct {
+	// Name is a stable generated identifier: <func>_l<startline>.
+	Name string `json:"name"`
+	// Pkg is the import path of the containing package.
+	Pkg string `json:"pkg"`
+	// File is the module-relative source file.
+	File string `json:"file"`
+	// Func is the enclosing declared function, receiver-qualified for
+	// methods ("(*App).Run").
+	Func string `json:"func"`
+	// StartLine and EndLine span the block in File.
+	StartLine int `json:"start_line"`
+	EndLine   int `json:"end_line"`
+	// Kind is "loop" (for), "range", or "combinator" (a call carrying a
+	// func-literal body — the shape of every approx.* combinator).
+	Kind string `json:"kind"`
+	// Depth is the loop-nest depth of the block, callees included.
+	Depth int `json:"depth"`
+	// FloatOps and Stmts are the measured arithmetic density inputs.
+	FloatOps int `json:"float_ops"`
+	Stmts    int `json:"stmts"`
+	// Knobs are the tunable levers found in the block, deduplicated.
+	Knobs []Knob `json:"knobs,omitempty"`
+	// Reduces names the loop-carried reduction targets declared outside
+	// the block — the variables whose values survive it.
+	Reduces []string `json:"reduces,omitempty"`
+	// Score is the static approximability rank:
+	// (float_ops / stmts) * depth * max(1, knobs).
+	Score float64 `json:"score"`
+}
+
+// Options configures a scan.
+type Options struct {
+	// MinOps is the minimum number of float operations (callee summaries
+	// included) a block must contain. Zero means 1.
+	MinOps int
+	// Parallel is the number of packages scanned concurrently. Zero or
+	// one means serial. The report is identical at any setting.
+	Parallel int
+}
+
+// Scanner discovers candidate blocks over one loaded module. Function
+// summaries are memoized across packages, so shared kernels (a distance
+// function used by two apps) are measured once.
+type Scanner struct {
+	loader *analysis.Loader
+
+	mu        sync.Mutex
+	summaries map[*types.Func]summary
+}
+
+// NewScanner returns a scanner over the loader's module.
+func NewScanner(l *analysis.Loader) *Scanner {
+	return &Scanner{loader: l, summaries: map[*types.Func]summary{}}
+}
+
+// Scan loads the patterns and returns the discovery report, candidates
+// ranked by score. The report is byte-deterministic: candidates are
+// produced per package and merged in a canonical order regardless of
+// Options.Parallel.
+func (s *Scanner) Scan(opts Options, patterns ...string) (*Report, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := s.loader.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	lists, err := s.scanPackages(opts, pkgs)
+	if err != nil {
+		return nil, err
+	}
+	var cands []Candidate
+	for _, l := range lists {
+		cands = append(cands, l...)
+	}
+	SortCandidates(cands)
+	return newReport(s.loader.ModulePath(), patterns, len(pkgs), cands), nil
+}
+
+// scanPackages scans each loaded package, optionally in parallel, and
+// returns per-package candidate lists in the packages' order. Loading is
+// already done (the loader is not safe for concurrent loads); scanning
+// only reads the memoized closure, which is.
+func (s *Scanner) scanPackages(opts Options, pkgs []*analysis.Package) ([][]Candidate, error) {
+	// Pre-load summaries' source packages serially: scanning resolves
+	// callees through Loader.Package, which only sees what Load pulled
+	// into the closure. Load of the patterns has already type-checked
+	// every in-module dependency, so nothing to do here beyond scanning.
+	lists := make([][]Candidate, len(pkgs))
+	workers := opts.Parallel
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(pkgs) {
+		workers = len(pkgs)
+	}
+	if workers <= 1 {
+		for i, pkg := range pkgs {
+			lists[i] = s.scanPackage(opts, pkg)
+		}
+		return lists, nil
+	}
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				lists[i] = s.scanPackage(opts, pkgs[i])
+			}
+		}()
+	}
+	for i := range pkgs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	return lists, nil
+}
+
+// scanPackage walks every declared function body in pkg.
+func (s *Scanner) scanPackage(opts Options, pkg *analysis.Package) []Candidate {
+	var out []Candidate
+	for _, f := range pkg.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			out = append(out, s.scanFunc(opts, pkg, fd)...)
+		}
+	}
+	return out
+}
+
+// scanFunc finds candidate blocks in one function body. Traversal
+// descends into nested statements and function literals; at each loop
+// node it measures the subtree and either emits a candidate (and stops
+// descending — the outermost qualifying nest wins, keeping candidates
+// disjoint) or keeps looking inside for a smaller block that qualifies.
+func (s *Scanner) scanFunc(opts Options, pkg *analysis.Package, fd *ast.FuncDecl) []Candidate {
+	minOps := opts.MinOps
+	if minOps < 1 {
+		minOps = 1
+	}
+	pure := funcTypedParams(pkg.Info, fd.Type)
+	var out []Candidate
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if fl, ok := n.(*ast.FuncLit); ok {
+			// Func-typed params of nested literals join the assumed-pure
+			// set for everything scanned beneath them.
+			for obj := range funcTypedParams(pkg.Info, fl.Type) {
+				pure[obj] = true
+			}
+			return true
+		}
+		kind := loopKind(pkg.Info, n)
+		if kind == "" {
+			return true
+		}
+		c, ok := s.tryCandidate(minOps, pkg, fd, n, kind, pure)
+		if !ok {
+			return true // impure or too thin: look for a smaller block inside
+		}
+		out = append(out, c)
+		return false
+	})
+	return out
+}
+
+// loopKind classifies n as a loop node, returning "" for non-loops.
+func loopKind(info *types.Info, n ast.Node) string {
+	switch x := n.(type) {
+	case *ast.ForStmt:
+		return "loop"
+	case *ast.RangeStmt:
+		return "range"
+	case *ast.CallExpr:
+		if tv, ok := info.Types[ast.Unparen(x.Fun)]; ok && tv.IsType() {
+			return "" // conversion
+		}
+		for _, a := range x.Args {
+			if _, ok := ast.Unparen(a).(*ast.FuncLit); ok {
+				return "combinator"
+			}
+		}
+	}
+	return ""
+}
+
+// tryCandidate measures the subtree at n and decides whether it qualifies:
+// side-effect free, at least minOps float operations, and at least one
+// write to a variable declared outside the block (otherwise approximating
+// it changes nothing an observer can see).
+func (s *Scanner) tryCandidate(minOps int, pkg *analysis.Package, fd *ast.FuncDecl, n ast.Node, kind string, pure map[types.Object]bool) (Candidate, bool) {
+	w := &walker{
+		sc:         s,
+		pkg:        pkg,
+		info:       pkg.Info,
+		pureParams: pure,
+		visiting:   map[*types.Func]bool{},
+	}
+	m := w.measure(n)
+	if len(m.impure) > 0 || m.ops < minOps {
+		return Candidate{}, false
+	}
+	var reduces []string
+	outer := 0
+	seen := map[string]bool{}
+	for _, wr := range m.writes {
+		if wr.obj.Pos() >= n.Pos() && wr.obj.Pos() < n.End() {
+			continue // loop-local scratch
+		}
+		outer++
+		if wr.carried && !seen[wr.obj.Name()] {
+			seen[wr.obj.Name()] = true
+			reduces = append(reduces, wr.obj.Name())
+		}
+	}
+	if outer == 0 {
+		return Candidate{}, false
+	}
+	sort.Strings(reduces)
+
+	start := s.loader.Fset.Position(n.Pos())
+	end := s.loader.Fset.Position(n.End())
+	funcName, base := declName(fd)
+	c := Candidate{
+		Name:      fmt.Sprintf("%s_%s_l%d", pkgBase(pkg.Path), strings.ToLower(base), start.Line),
+		Pkg:       pkg.Path,
+		File:      s.loader.RelFile(start.Filename),
+		Func:      funcName,
+		StartLine: start.Line,
+		EndLine:   end.Line,
+		Kind:      kind,
+		Depth:     m.depth,
+		FloatOps:  m.ops,
+		Stmts:     m.stmts,
+		Knobs:     dedupKnobs(m.knobs),
+		Reduces:   reduces,
+	}
+	c.Score = score(c)
+	return c, true
+}
+
+// score is the static approximability rank: arithmetic density times nest
+// depth times knob count. Dense float kernels deep in a nest with many
+// tunable levers rank first — exactly the blocks perforation and tuning
+// pay off on.
+func score(c Candidate) float64 {
+	stmts := c.Stmts
+	if stmts < 1 {
+		stmts = 1
+	}
+	knobs := len(c.Knobs)
+	if knobs < 1 {
+		knobs = 1
+	}
+	return float64(c.FloatOps) / float64(stmts) * float64(c.Depth) * float64(knobs)
+}
+
+// pkgBase is the last segment of an import path, lowered — the name
+// prefix that keeps candidate names unique across packages (two apps
+// easily have a Run loop starting on the same line number).
+func pkgBase(path string) string {
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		path = path[i+1:]
+	}
+	return strings.ToLower(path)
+}
+
+// declName renders the declared function (receiver-qualified for methods)
+// and its bare name for candidate naming.
+func declName(fd *ast.FuncDecl) (qualified, base string) {
+	base = fd.Name.Name
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return base, base
+	}
+	return "(" + types.ExprString(fd.Recv.List[0].Type) + ")." + base, base
+}
+
+// dedupKnobs deduplicates by kind+name (keeping the first line) and sorts
+// by line, kind, name.
+func dedupKnobs(knobs []Knob) []Knob {
+	if len(knobs) == 0 {
+		return nil
+	}
+	sort.Slice(knobs, func(i, j int) bool {
+		a, b := knobs[i], knobs[j]
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Name < b.Name
+	})
+	out := knobs[:0]
+	seen := map[string]bool{}
+	for _, k := range knobs {
+		key := k.Kind + "\x00" + k.Name
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortCandidates orders candidates by score (descending), then file,
+// start line and function — the canonical report order.
+func SortCandidates(cands []Candidate) {
+	sort.Slice(cands, func(i, j int) bool {
+		a, b := cands[i], cands[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.StartLine != b.StartLine {
+			return a.StartLine < b.StartLine
+		}
+		return a.Func < b.Func
+	})
+}

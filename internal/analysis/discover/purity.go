@@ -1,0 +1,498 @@
+package discover
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"opprox/internal/analysis"
+)
+
+// This file measures code: the walker that counts float arithmetic,
+// statements and loop-nest depth over an AST subtree, classifies calls,
+// and decides side-effect freedom. The measurement is interprocedural
+// within the loaded module — a call to an in-module function folds the
+// callee's summarized metrics into the caller — so a kernel hidden behind
+// a helper (rosenbrock inside a fitness callback, vec3 arithmetic inside
+// an integrator) still counts toward the block that invokes it.
+
+// summary is the memoized measurement of one function.
+type summary struct {
+	// pure reports that the function body has no side effects under the
+	// rules in (*walker).call: no I/O or sync packages, no channel or go
+	// statements, no package-level variable writes, no calls that cannot
+	// be resolved to a body. Calls to the function's own func-typed
+	// parameters are assumed pure — the actual callback is judged at the
+	// call site where its literal is visible.
+	pure bool
+	// ops, stmts, depth are the function body's metrics (measure).
+	ops, stmts, depth int
+}
+
+// pureStdlib are standard-library packages whose package-level functions
+// are side-effect free for discovery purposes. sort mutates its argument
+// slice, which is caller-visible state, not an external effect — exactly
+// like the in-place output writes approximable kernels perform.
+var pureStdlib = map[string]bool{
+	"math": true, "math/bits": true, "math/cmplx": true,
+	"sort": true, "strings": true, "strconv": true,
+	"unicode": true, "unicode/utf8": true, "errors": true,
+}
+
+// randPkgs are the deterministic-generator packages: calls on a locally
+// seeded *rand.Rand are pure for discovery (the globalrand analyzer
+// separately polices the shared top-level generator, which is not).
+var randPkgs = map[string]bool{"math/rand": true, "math/rand/v2": true}
+
+// impureBuiltins are builtins with observable effects.
+var impureBuiltins = map[string]bool{"print": true, "println": true, "panic": true}
+
+// impureModulePkgs are in-module observability sinks whose calls are
+// side effects by definition, whatever their bodies look like: a block
+// that records trace events or metrics is an instrumentation boundary,
+// not an approximable kernel. Without this, Recorder methods (which only
+// write through their receiver) would summarize as pure and every app's
+// instrumented OUTER loop would swallow its per-AB blocks into one
+// whole-body candidate.
+var impureModulePkgs = map[string]bool{
+	"opprox/internal/trace": true,
+	"opprox/internal/obs":   true,
+}
+
+// impurity is one reason a subtree is not side-effect free.
+type impurity struct {
+	pos token.Pos
+	why string
+}
+
+// write records one assignment to a variable or element, by the base
+// object written through.
+type write struct {
+	obj types.Object
+	// carried marks a loop-carried reduction shape: a compound op
+	// (+=, *=, ...), an increment, or x = f(x).
+	carried bool
+	pos     token.Pos
+}
+
+// metrics is the measured view of one AST subtree.
+type metrics struct {
+	ops    int // float arithmetic operations, callee summaries included
+	stmts  int // leaf statements, callee summaries included
+	depth  int // max loop-nest depth (plain loops, combinator calls, callees)
+	impure []impurity
+	writes []write
+	knobs  []Knob
+}
+
+// walker measures one subtree in the context of one package.
+type walker struct {
+	sc   *Scanner
+	pkg  *analysis.Package
+	info *types.Info
+	// pureParams are func-typed parameters of the enclosing function(s)
+	// whose calls are assumed pure.
+	pureParams map[types.Object]bool
+	// visiting guards summary recursion against call cycles.
+	visiting map[*types.Func]bool
+
+	depth int
+}
+
+// measure walks root and accumulates metrics.
+func (w *walker) measure(root ast.Node) *metrics {
+	m := &metrics{}
+	w.depth = 0
+	var stack []bool
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			if stack[len(stack)-1] {
+				w.depth--
+			}
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		inc := false
+		switch x := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			inc = true
+		case *ast.CallExpr:
+			inc = w.call(m, x)
+		case *ast.BinaryExpr:
+			w.binary(m, x)
+		case *ast.AssignStmt:
+			m.stmts++
+			w.assign(m, x)
+		case *ast.IncDecStmt:
+			m.stmts++
+			w.write(m, x.X, true, x.Pos())
+		case *ast.ExprStmt, *ast.ReturnStmt, *ast.DeclStmt, *ast.BranchStmt:
+			m.stmts++
+		case *ast.Ident:
+			w.constKnob(m, x)
+		case *ast.GoStmt:
+			m.impure = append(m.impure, impurity{x.Pos(), "starts a goroutine"})
+		case *ast.SendStmt:
+			m.impure = append(m.impure, impurity{x.Pos(), "sends on a channel"})
+		case *ast.SelectStmt:
+			m.impure = append(m.impure, impurity{x.Pos(), "selects on channels"})
+		case *ast.DeferStmt:
+			m.impure = append(m.impure, impurity{x.Pos(), "defers a call"})
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				m.impure = append(m.impure, impurity{x.Pos(), "receives from a channel"})
+			}
+		}
+		if inc {
+			w.depth++
+			if w.depth > m.depth {
+				m.depth = w.depth
+			}
+		}
+		stack = append(stack, inc)
+		return true
+	})
+	return m
+}
+
+// binary counts float arithmetic and records stride/threshold knobs.
+func (w *walker) binary(m *metrics, x *ast.BinaryExpr) {
+	switch x.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+		if isFloat(w.info.TypeOf(x)) {
+			m.ops++
+		}
+	case token.REM:
+		m.knobs = append(m.knobs, Knob{
+			Kind: KnobStride,
+			Name: types.ExprString(x.Y),
+			Line: w.line(x.Pos()),
+		})
+	case token.LSS, token.LEQ, token.GTR, token.GEQ, token.EQL, token.NEQ:
+		// Float comparisons are float ALU work too — a min/max filter or
+		// clamp kernel is all comparisons and still approximable.
+		if isFloat(w.info.TypeOf(x.X)) || isFloat(w.info.TypeOf(x.Y)) {
+			m.ops++
+		}
+		cx, cy := w.constOf(x.X), w.constOf(x.Y)
+		if (cx == "") == (cy == "") {
+			return // knob shape is expr-vs-constant, not const-vs-const
+		}
+		name := cx
+		if name == "" {
+			name = cy
+		}
+		if isNumeric(w.info.TypeOf(x.X)) || isNumeric(w.info.TypeOf(x.Y)) {
+			m.knobs = append(m.knobs, Knob{Kind: KnobThreshold, Name: name, Line: w.line(x.Pos())})
+		}
+	}
+}
+
+// constOf renders a compile-time constant operand: the constant's name if
+// it is a named constant, its value otherwise, "" if not constant.
+func (w *walker) constOf(e ast.Expr) string {
+	e = ast.Unparen(e)
+	tv, ok := w.info.Types[e]
+	if !ok || tv.Value == nil {
+		return ""
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		return id.Name
+	}
+	// Short human form, not ExactString: a float literal's exact rational
+	// would be an unreadable page-wide fraction.
+	return tv.Value.String()
+}
+
+// constKnob records a use of a named package-level numeric constant — an
+// iteration count, tolerance or degree a tuner could turn into a knob.
+func (w *walker) constKnob(m *metrics, id *ast.Ident) {
+	c, ok := w.info.Uses[id].(*types.Const)
+	if !ok || c.Pkg() == nil || c.Parent() != c.Pkg().Scope() || !isNumeric(c.Type()) {
+		return
+	}
+	m.knobs = append(m.knobs, Knob{Kind: KnobConst, Name: id.Name, Line: w.line(id.Pos())})
+}
+
+// assign records writes and counts compound float arithmetic.
+func (w *walker) assign(m *metrics, as *ast.AssignStmt) {
+	if as.Tok == token.DEFINE {
+		return // declares new locals; not a write to pre-existing state
+	}
+	compound := as.Tok != token.ASSIGN
+	for i, lhs := range as.Lhs {
+		carried := compound
+		if !carried && i < len(as.Rhs) {
+			if obj := baseObj(w.info, lhs); obj != nil && mentions(w.info, as.Rhs[i], obj) {
+				carried = true // x = f(x): the value feeds its own update
+			}
+		}
+		w.write(m, lhs, carried, as.Pos())
+	}
+	if compound && as.Tok != token.AND_NOT_ASSIGN && isFloat(w.info.TypeOf(as.Lhs[0])) {
+		m.ops++
+	}
+}
+
+// write records one write through lhs and flags package-level targets.
+func (w *walker) write(m *metrics, lhs ast.Expr, carried bool, pos token.Pos) {
+	obj := baseObj(w.info, lhs)
+	if obj == nil {
+		return // write through a computed expression; invisible to scoring
+	}
+	if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+		m.impure = append(m.impure, impurity{pos, "writes package-level variable " + v.Name()})
+		return
+	}
+	m.writes = append(m.writes, write{obj: obj, carried: carried, pos: pos})
+}
+
+// call classifies one call expression. The return value reports whether
+// the call is a higher-order iteration — a call carrying a func-literal
+// argument, the shape of every approx combinator (Perforate, Truncate,
+// Memoize, ...) — which the walker treats as one loop level.
+func (w *walker) call(m *metrics, call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+	// Conversions are arithmetic plumbing, not calls.
+	if tv, ok := w.info.Types[fun]; ok && tv.IsType() {
+		return false
+	}
+	if id, ok := fun.(*ast.Ident); ok {
+		if b, ok := w.info.Uses[id].(*types.Builtin); ok {
+			if impureBuiltins[b.Name()] {
+				m.impure = append(m.impure, impurity{call.Pos(), "calls builtin " + b.Name()})
+			}
+			return false
+		}
+	}
+	higher := false
+	for _, a := range call.Args {
+		if _, ok := ast.Unparen(a).(*ast.FuncLit); ok {
+			higher = true
+			break
+		}
+	}
+	obj := calleeObj(w.info, fun)
+	fn, isFunc := obj.(*types.Func)
+	if higher {
+		// The callee drives the literal; it must itself be resolvable
+		// and pure (its calls to its own func params are assumed pure,
+		// and the literal's body is measured right here by the walk).
+		if !isFunc {
+			m.impure = append(m.impure, impurity{call.Pos(), "higher-order call through unresolved callee"})
+			return true
+		}
+		if s := w.sc.summarize(fn, w.visiting); !s.pure {
+			m.impure = append(m.impure, impurity{call.Pos(), "higher-order call to impure " + fn.Name()})
+		}
+		m.knobs = append(m.knobs, Knob{Kind: KnobLevel, Name: types.ExprString(fun), Line: w.line(call.Pos())})
+		return true
+	}
+	switch {
+	case isFunc:
+		s := w.sc.summarize(fn, w.visiting)
+		if !s.pure {
+			m.impure = append(m.impure, impurity{call.Pos(), "calls " + calleeLabel(fn)})
+		}
+		m.ops += s.ops
+		m.stmts += s.stmts
+		if d := w.depth + s.depth; d > m.depth {
+			m.depth = d
+		}
+	case obj != nil && w.pureParams[obj]:
+		// A func-typed parameter of the enclosing function: judged at
+		// the outer call site where the concrete literal is visible.
+	default:
+		m.impure = append(m.impure, impurity{call.Pos(), "call through function value"})
+	}
+	return false
+}
+
+func (w *walker) line(pos token.Pos) int {
+	return w.sc.loader.Fset.Position(pos).Line
+}
+
+// summarize measures fn's declared body, memoized on the Scanner. It is
+// safe for concurrent use; visiting is the current recursion chain (call
+// cycles resolve optimistically — a cycle of otherwise-pure arithmetic
+// stays pure, matching a fixpoint's least solution).
+func (s *Scanner) summarize(fn *types.Func, visiting map[*types.Func]bool) summary {
+	s.mu.Lock()
+	sum, ok := s.summaries[fn]
+	s.mu.Unlock()
+	if ok {
+		return sum
+	}
+	if visiting[fn] {
+		return summary{pure: true}
+	}
+	visiting[fn] = true
+	sum = s.summarizeUncached(fn, visiting)
+	delete(visiting, fn)
+	s.mu.Lock()
+	s.summaries[fn] = sum
+	s.mu.Unlock()
+	return sum
+}
+
+func (s *Scanner) summarizeUncached(fn *types.Func, visiting map[*types.Func]bool) summary {
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return summary{} // error.Error and friends: no package, no body
+	}
+	path := pkg.Path()
+	if !s.inModule(path) {
+		switch {
+		case pureStdlib[path]:
+			return summary{pure: true}
+		case randPkgs[path]:
+			// Methods run a locally seeded deterministic generator;
+			// package-level functions share mutable global state.
+			return summary{pure: fn.Signature().Recv() != nil}
+		default:
+			return summary{}
+		}
+	}
+	if impureModulePkgs[path] {
+		return summary{}
+	}
+	apkg := s.loader.Package(path)
+	if apkg == nil {
+		return summary{} // not in the loaded closure; assume the worst
+	}
+	decl := findFuncDecl(apkg, fn)
+	if decl == nil || decl.Body == nil {
+		return summary{} // interface method or assembly stub
+	}
+	w := &walker{
+		sc:         s,
+		pkg:        apkg,
+		info:       apkg.Info,
+		pureParams: funcTypedParams(apkg.Info, decl.Type),
+		visiting:   visiting,
+	}
+	m := w.measure(decl.Body)
+	return summary{pure: len(m.impure) == 0, ops: m.ops, stmts: m.stmts, depth: m.depth}
+}
+
+// inModule reports whether path lies inside the scanned module.
+func (s *Scanner) inModule(path string) bool {
+	mp := s.loader.ModulePath()
+	return path == mp || strings.HasPrefix(path, mp+"/")
+}
+
+// findFuncDecl locates the declaration of fn in its package by the
+// position of its name identifier.
+func findFuncDecl(pkg *analysis.Package, fn *types.Func) *ast.FuncDecl {
+	for _, f := range pkg.Files {
+		if f.FileStart > fn.Pos() || fn.Pos() >= f.FileEnd {
+			continue
+		}
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Pos() == fn.Pos() {
+				return fd
+			}
+		}
+	}
+	return nil
+}
+
+// funcTypedParams collects the func-typed parameters declared by ft.
+func funcTypedParams(info *types.Info, ft *ast.FuncType) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if ft.Params == nil {
+		return out
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			obj := info.Defs[name]
+			if obj == nil {
+				continue
+			}
+			if _, ok := obj.Type().Underlying().(*types.Signature); ok {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// calleeObj resolves a call's function expression to its object.
+func calleeObj(info *types.Info, fun ast.Expr) types.Object {
+	switch x := fun.(type) {
+	case *ast.Ident:
+		return info.Uses[x]
+	case *ast.SelectorExpr:
+		if sel := info.Selections[x]; sel != nil {
+			return sel.Obj()
+		}
+		return info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// calleeLabel renders a callee for impurity messages.
+func calleeLabel(fn *types.Func) string {
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}
+
+// baseObj unwraps index, selector, star and paren layers and returns the
+// base variable a write lands in (pos[i][d] → pos, s.field → s).
+func baseObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			if obj := info.Uses[x]; obj != nil {
+				return obj
+			}
+			return info.Defs[x]
+		default:
+			return nil
+		}
+	}
+}
+
+// mentions reports whether the subtree uses obj.
+func mentions(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if found {
+			return false
+		}
+		if id, ok := c.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isFloat reports whether t is a floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isNumeric reports whether t is an integer or float type.
+func isNumeric(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsNumeric != 0
+}

@@ -1,0 +1,74 @@
+package discover
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+)
+
+// SchemaVersion is the version stamped into scan reports. Bump on any
+// change to the Report or Candidate JSON shape.
+const SchemaVersion = 1
+
+// Report is the output of one discovery scan.
+type Report struct {
+	SchemaVersion int `json:"schema_version"`
+	// GoVersion records the toolchain the scan ran under. Text rendering
+	// omits it so golden files stay toolchain-independent.
+	GoVersion string `json:"go_version,omitempty"`
+	// Module is the scanned module's path.
+	Module string `json:"module"`
+	// Patterns are the package patterns scanned.
+	Patterns []string `json:"patterns"`
+	// Packages is the number of packages the patterns matched.
+	Packages int `json:"packages"`
+	// Candidates are the discovered blocks, ranked by score.
+	Candidates []Candidate `json:"candidates"`
+}
+
+func newReport(module string, patterns []string, packages int, cands []Candidate) *Report {
+	return &Report{
+		SchemaVersion: SchemaVersion,
+		GoVersion:     runtime.Version(),
+		Module:        module,
+		Patterns:      patterns,
+		Packages:      packages,
+		Candidates:    cands,
+	}
+}
+
+// WriteJSON writes the report as indented JSON. The encoding is
+// byte-deterministic for a given tree and toolchain: candidate order is
+// canonical and struct fields marshal in declaration order.
+func (r *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// RenderText writes the human-oriented ranking. It omits the Go version,
+// so the same tree renders identically across toolchains — the form
+// golden tests pin.
+func (r *Report) RenderText(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "%s: %d packages, %d candidates\n", r.Module, r.Packages, len(r.Candidates)); err != nil {
+		return err
+	}
+	for i, c := range r.Candidates {
+		if _, err := fmt.Fprintf(w, "#%d %s score=%.3f %s:%d-%d %s [%s] depth=%d ops=%d stmts=%d\n",
+			i+1, c.Name, c.Score, c.File, c.StartLine, c.EndLine, c.Func, c.Kind, c.Depth, c.FloatOps, c.Stmts); err != nil {
+			return err
+		}
+		for _, k := range c.Knobs {
+			if _, err := fmt.Fprintf(w, "   knob %s %q line %d\n", k.Kind, k.Name, k.Line); err != nil {
+				return err
+			}
+		}
+		if len(c.Reduces) > 0 {
+			if _, err := fmt.Fprintf(w, "   reduces %v\n", c.Reduces); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

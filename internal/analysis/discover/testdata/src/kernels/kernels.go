@@ -1,0 +1,98 @@
+// Package kernels is the discovery-pass fixture: each function exercises
+// one classification path of the scanner. Comments name the expectation
+// the golden file pins.
+package kernels
+
+// maxIter and tol are tunable package-level constants: const knobs.
+const (
+	maxIter = 100
+	tol     = 1e-9
+)
+
+// total is package-level state; writing it is a side effect.
+var total float64
+
+// Stencil is the classic candidate: a pure float loop reducing into out
+// and acc (declared outside), with stride and threshold knobs.
+func Stencil(in []float64, out []float64) float64 {
+	acc := 0.0
+	for i := 1; i < len(in)-1; i++ {
+		if i%4 == 0 {
+			continue
+		}
+		v := 0.25*in[i-1] + 0.5*in[i] + 0.25*in[i+1]
+		out[i] = v
+		acc += v
+	}
+	return acc
+}
+
+// Helper ops count interprocedurally: the loop body has one direct float
+// op; the rest live in blend's summary.
+func blend(a, b float64) float64 {
+	return 0.5*a + 0.5*b
+}
+
+func Smooth(xs []float64) float64 {
+	s := 0.0
+	for i := 1; i < len(xs); i++ {
+		s += blend(xs[i-1], xs[i])
+	}
+	return s
+}
+
+// Converge carries threshold and const knobs (tol, maxIter).
+func Converge(x float64) float64 {
+	for n := 0; n < maxIter; n++ {
+		step := x * 0.5
+		if step < tol {
+			break
+		}
+		x -= step
+	}
+	return x
+}
+
+// apply is a higher-order iterator: calls carrying a func literal are
+// one loop level, like the approx combinators.
+func apply(n int, f func(int)) {
+	for i := 0; i < n; i++ {
+		f(i)
+	}
+}
+
+// Map's combinator call is a candidate of kind "combinator".
+func Map(xs []float64) {
+	apply(len(xs), func(i int) {
+		xs[i] = xs[i] * 1.5
+	})
+}
+
+// GlobalWriter's loop writes package state: rejected, no candidate.
+func GlobalWriter(xs []float64) {
+	for _, x := range xs {
+		total += x
+	}
+}
+
+// Channeled's outer loop sends on a channel: rejected. The inner pure
+// loop still qualifies on its own.
+func Channeled(xs []float64, ch chan float64) {
+	for range xs {
+		s := 0.0
+		for _, x := range xs {
+			s += x * x
+		}
+		ch <- s
+	}
+}
+
+// Scratch only writes loop-local state; approximating it is unobservable,
+// so it is rejected.
+func Scratch(xs []float64) {
+	for range xs {
+		tmp := 0.0
+		tmp += 1.0
+		_ = tmp
+	}
+}

@@ -150,8 +150,8 @@ func TestFixturesSkippedByPatterns(t *testing.T) {
 			t.Errorf("pattern expansion descended into %s", p.Path)
 		}
 	}
-	if len(pkgs) != 1 {
-		t.Errorf("got %d packages, want just internal/analysis", len(pkgs))
+	if len(pkgs) != 2 {
+		t.Errorf("got %d packages, want internal/analysis and internal/analysis/discover", len(pkgs))
 	}
 }
 

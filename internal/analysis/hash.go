@@ -1,0 +1,196 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file is the cheap half of incremental analysis: it derives a
+// content hash for every package in a pattern set without type-checking
+// anything. A package's hash covers its own source bytes, the hashes of
+// its in-module imports (recursively), and a caller-supplied salt (the
+// analyzer set and Go toolchain version). Two runs that see the same hash
+// for a package are guaranteed to see identical analysis input for it, so
+// cached per-package results can be reused byte-for-byte.
+
+// PkgHash is one node of the hashed package graph.
+type PkgHash struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the absolute directory the package lives in.
+	Dir string
+	// Hash is the hex content hash covering the salt, the package's
+	// source files, and the hashes of its in-module imports.
+	Hash string
+	// Imports are the in-module imports, sorted.
+	Imports []string
+}
+
+// pkgMeta is the parsed-but-not-type-checked view of one package
+// directory: file content hashes and in-module import paths.
+type pkgMeta struct {
+	path    string
+	dir     string
+	files   []fileHash
+	imports []string // in-module only, sorted
+}
+
+type fileHash struct{ name, sum string }
+
+// GraphHashes expands the patterns and returns a PkgHash for every
+// matching package, sorted by import path. Hashing reads and parses
+// (imports only) each file in the transitive in-module closure once; it
+// never type-checks, so a warm cached run costs file I/O plus hashing.
+// Standard-library imports contribute through the salt alone — the Go
+// version pins their content.
+func (l *Loader) GraphHashes(salt string, patterns ...string) ([]*PkgHash, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	dirs, err := l.expand(patterns)
+	if err != nil {
+		return nil, err
+	}
+	meta := map[string]*pkgMeta{}
+	hashes := map[string]string{}
+	out := make([]*PkgHash, 0, len(dirs))
+	for _, dir := range dirs {
+		m, err := l.metaForDir(meta, dir)
+		if err != nil {
+			return nil, err
+		}
+		h, err := l.hashPkg(meta, hashes, map[string]bool{}, salt, m.path)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &PkgHash{Path: m.path, Dir: m.dir, Hash: h, Imports: m.imports})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// metaForDir scans one package directory (memoized by import path).
+func (l *Loader) metaForDir(meta map[string]*pkgMeta, dir string) (*pkgMeta, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	path := l.pathFor(abs)
+	if m, ok := meta[path]; ok {
+		return m, nil
+	}
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, fmt.Errorf("analysis: hashing %s: %w", path, err)
+	}
+	m := &pkgMeta{path: path, dir: abs}
+	fset := token.NewFileSet()
+	importSet := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !isSourceFile(e.Name()) {
+			continue
+		}
+		name := filepath.Join(abs, e.Name())
+		data, err := os.ReadFile(name)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: hashing %s: %w", path, err)
+		}
+		sum := sha256.Sum256(data)
+		m.files = append(m.files, fileHash{name: e.Name(), sum: hex.EncodeToString(sum[:])})
+		f, err := parser.ParseFile(fset, name, data, parser.ImportsOnly)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: hashing %s: %w", path, err)
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if p == l.modulePath || strings.HasPrefix(p, l.modulePath+"/") {
+				importSet[p] = true
+			}
+		}
+	}
+	if len(m.files) == 0 {
+		return nil, fmt.Errorf("analysis: hashing %s: no Go files in %s", path, abs)
+	}
+	sort.Slice(m.files, func(i, j int) bool { return m.files[i].name < m.files[j].name })
+	for p := range importSet {
+		m.imports = append(m.imports, p)
+	}
+	sort.Strings(m.imports)
+	meta[path] = m
+	return m, nil
+}
+
+// hashPkg computes (memoized) the content hash of one package, recursing
+// into its in-module imports.
+func (l *Loader) hashPkg(meta map[string]*pkgMeta, hashes map[string]string, visiting map[string]bool, salt, path string) (string, error) {
+	if h, ok := hashes[path]; ok {
+		return h, nil
+	}
+	if visiting[path] {
+		return "", fmt.Errorf("analysis: import cycle through %s while hashing", path)
+	}
+	visiting[path] = true
+	defer delete(visiting, path)
+
+	m, err := l.metaForDir(meta, l.dirFor(path))
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "opprox-pkg-hash/v1\x00%s\x00%s\x00", salt, path)
+	for _, f := range m.files {
+		fmt.Fprintf(h, "file\x00%s\x00%s\x00", f.name, f.sum)
+	}
+	for _, dep := range m.imports {
+		dh, err := l.hashPkg(meta, hashes, visiting, salt, dep)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "dep\x00%s\x00%s\x00", dep, dh)
+	}
+	sum := hex.EncodeToString(h.Sum(nil))
+	hashes[path] = sum
+	return sum, nil
+}
+
+// vetCacheEpoch invalidates every vet cache entry when bumped. The salt
+// hashes the analyzer registry's names and docs — and, when the analyzed
+// module is opprox itself, the internal/analysis source tree — but an
+// analyzer behavior change that alters neither must bump this constant.
+const vetCacheEpoch = "opprox-vet-cache/v1"
+
+// CacheSalt derives the component of a cache key shared by every package
+// in one run: the epoch, the Go toolchain version, the analyzer
+// identities, and — when the module under analysis contains the analyzer
+// implementation (the self-hosting case) — the content hash of the
+// implementation packages themselves, so editing an analyzer invalidates
+// the cache without a manual epoch bump.
+func (l *Loader) CacheSalt(epoch string, analyzers []*Analyzer, implPkgs ...string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s\x00%s\x00", epoch, runtime.Version())
+	for _, a := range analyzers {
+		fmt.Fprintf(h, "analyzer\x00%s\x00%s\x00%s\x00", a.Name, a.Doc, a.Severity)
+	}
+	for _, pkg := range implPkgs {
+		roots, err := l.GraphHashes("", pkg)
+		if err != nil {
+			continue // not self-hosting: the epoch + go version cover it
+		}
+		for _, r := range roots {
+			fmt.Fprintf(h, "impl\x00%s\x00%s\x00", r.Path, r.Hash)
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -71,6 +71,18 @@ func (l *Loader) ModuleDir() string { return l.moduleDir }
 // ModulePath returns the module path from go.mod.
 func (l *Loader) ModulePath() string { return l.modulePath }
 
+// Package returns the already-loaded package with the given import path,
+// or nil. Loading any package memoizes its full in-module import closure
+// (ASTs and type info included), so cross-package passes — the discovery
+// scanner's purity summaries — can reach a dependency's function bodies
+// without re-parsing. It never triggers a load itself, so it is safe to
+// call concurrently once loading is done.
+func (l *Loader) Package(path string) *Package { return l.pkgs[path] }
+
+// RelFile maps an absolute filename to its module-relative slash form —
+// the path diagnostics and reports use.
+func (l *Loader) RelFile(name string) string { return l.relFile(name) }
+
 // findModule walks upward from dir to the enclosing go.mod and returns
 // the module root directory and module path.
 func findModule(dir string) (root, path string, err error) {

@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"path"
+	"strings"
+)
+
+// MatchPackage reports whether an import path matches one -pkg pattern:
+//
+//   - "dir/..." matches the package at dir and everything beneath it;
+//     the stem may itself be any of the forms below.
+//   - A pattern with glob metacharacters matches path.Match against the
+//     full import path.
+//   - Anything else matches the full import path exactly, or as a
+//     trailing run of path segments ("pso" and "apps/pso" both match
+//     opprox/internal/apps/pso).
+func MatchPackage(pattern, importPath string) bool {
+	if stem, ok := strings.CutSuffix(pattern, "/..."); ok {
+		if MatchPackage(stem, importPath) {
+			return true
+		}
+		for p := importPath; ; {
+			i := strings.LastIndex(p, "/")
+			if i < 0 {
+				return false
+			}
+			p = p[:i]
+			if MatchPackage(stem, p) {
+				return true
+			}
+		}
+	}
+	if strings.ContainsAny(pattern, "*?[") {
+		ok, err := path.Match(pattern, importPath)
+		return err == nil && ok
+	}
+	return importPath == pattern || strings.HasSuffix(importPath, "/"+pattern)
+}
+
+// MatchAnyPackage reports whether the import path matches any pattern in
+// the comma-separated list. An empty list matches everything.
+func MatchAnyPackage(patterns, importPath string) bool {
+	if patterns == "" {
+		return true
+	}
+	for _, pat := range strings.Split(patterns, ",") {
+		if pat = strings.TrimSpace(pat); pat != "" && MatchPackage(pat, importPath) {
+			return true
+		}
+	}
+	return false
+}

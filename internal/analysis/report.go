@@ -4,10 +4,24 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 )
+
+// ReportSchemaVersion is the current report layout. Version 1 (PR 2, no
+// schema_version or go_version fields) decodes compatibly: the fields are
+// additive, and Report.Schema maps the zero value back to 1.
+const ReportSchemaVersion = 2
 
 // Report is the machine-readable result of one opprox-vet run.
 type Report struct {
+	// SchemaVersion identifies the report layout; 0 means a version-1
+	// report written before the field existed (use Schema, not this
+	// field, when deciding compatibility).
+	SchemaVersion int `json:"schema_version,omitempty"`
+	// GoVersion is the toolchain that type-checked the packages. Analyzer
+	// output can legitimately differ across Go releases, so the cache key
+	// and report both carry it.
+	GoVersion string `json:"go_version,omitempty"`
 	// Patterns are the package patterns the run expanded.
 	Patterns []string `json:"patterns"`
 	// Packages is the number of packages analyzed.
@@ -24,11 +38,19 @@ type Report struct {
 
 // NewReport assembles a report from a finished run.
 func NewReport(patterns []string, pkgs []*Package, analyzers []*Analyzer, diags []Diagnostic) Report {
+	return newReport(patterns, len(pkgs), analyzers, diags)
+}
+
+// newReport is NewReport with the package count already flattened, for
+// the cached runner (which may never materialize *Package values).
+func newReport(patterns []string, packages int, analyzers []*Analyzer, diags []Diagnostic) Report {
 	r := Report{
-		Patterns:    patterns,
-		Packages:    len(pkgs),
-		Analyzers:   make([]string, 0, len(analyzers)),
-		Diagnostics: diags,
+		SchemaVersion: ReportSchemaVersion,
+		GoVersion:     runtime.Version(),
+		Patterns:      patterns,
+		Packages:      packages,
+		Analyzers:     make([]string, 0, len(analyzers)),
+		Diagnostics:   diags,
 	}
 	if r.Diagnostics == nil {
 		r.Diagnostics = []Diagnostic{}
@@ -47,6 +69,15 @@ func NewReport(patterns []string, pkgs []*Package, analyzers []*Analyzer, diags 
 		r.BySeverity[d.Severity.String()]++
 	}
 	return r
+}
+
+// Schema returns the effective schema version of a decoded report: the
+// recorded version, or 1 for reports written before the field existed.
+func (r Report) Schema() int {
+	if r.SchemaVersion == 0 {
+		return 1
+	}
+	return r.SchemaVersion
 }
 
 // WriteJSON writes the indented JSON form of the report.

@@ -22,6 +22,7 @@ func (l *Loader) Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		suppress := suppressions(l, pkg)
+		origins := stmtOrigins(l, pkg)
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
@@ -31,13 +32,20 @@ func (l *Loader) Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Info:     pkg.Info,
 				relFile:  l.relFile,
 				report: func(d Diagnostic) {
-					d.Suppressed = suppress[d.File].covers(d.Line, d.Analyzer)
+					d.Suppressed = suppress[d.File].covers(d.Line, origins[d.File].originOf(d.Line), d.Analyzer)
 					diags = append(diags, d)
 				},
 			}
 			a.Run(pass)
 		}
 	}
+	SortDiagnostics(diags)
+	return diags
+}
+
+// SortDiagnostics orders diagnostics by file, line, column and analyzer —
+// the canonical report order every runner (plain or cached) produces.
+func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.File != b.File {
@@ -51,7 +59,6 @@ func (l *Loader) Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return diags
 }
 
 // relFile maps an absolute filename to a module-relative slash path, so
@@ -67,15 +74,86 @@ func (l *Loader) relFile(name string) string {
 // comment silences ("all" silences every analyzer).
 type ignoreSet map[int]map[string]bool
 
-// covers reports whether the set silences the analyzer at the line (the
-// directive may sit on the flagged line or the line above it).
-func (s ignoreSet) covers(line int, analyzer string) bool {
-	for _, ln := range [2]int{line, line - 1} {
+// covers reports whether the set silences the analyzer at the line. The
+// directive may sit on the flagged line or the line above it; for a
+// finding inside a multi-line statement or composite literal, it may
+// equally sit on — or directly above — the first line of the enclosing
+// statement (origin), so suppressing e.g. a rand call buried in a
+// multi-line struct literal does not require splitting the literal.
+func (s ignoreSet) covers(line, origin int, analyzer string) bool {
+	for _, ln := range [4]int{line, line - 1, origin, origin - 1} {
 		if names := s[ln]; names != nil && (names[analyzer] || names["all"]) {
 			return true
 		}
 	}
 	return false
+}
+
+// originSet maps a source line to the start line of the innermost
+// statement spanning it, for one file. Innermost keeps the directive
+// scope tight: a finding on its own single-line statement still resolves
+// to that line, not to some enclosing block.
+type originSet []stmtSpan
+
+type stmtSpan struct{ start, end int }
+
+// originOf returns the start line of the smallest statement span covering
+// line, or line itself when no statement spans it.
+func (s originSet) originOf(line int) int {
+	best, bestSize := line, int(^uint(0)>>1)
+	for _, sp := range s {
+		if sp.start <= line && line <= sp.end && sp.end-sp.start < bestSize {
+			best, bestSize = sp.start, sp.end-sp.start
+		}
+	}
+	return best
+}
+
+// stmtOrigins records, per module-relative filename, the line spans of
+// every leaf statement in the package, so suppression matching can map a
+// finding on a continuation line back to its statement's first line.
+// Only statements with no nested statements qualify — a multi-line
+// assignment, call or return wrapping a composite literal or a wrapped
+// argument list — never a block or control-flow statement, whose span
+// would let one directive silence an arbitrarily large body. Single-line
+// spans are skipped: for those, origin == line already.
+func stmtOrigins(l *Loader, pkg *Package) map[string]originSet {
+	out := map[string]originSet{}
+	for _, f := range pkg.Files {
+		name := l.relFile(l.Fset.Position(f.Pos()).Filename)
+		var spans originSet
+		ast.Inspect(f, func(n ast.Node) bool {
+			if _, ok := n.(ast.Stmt); !ok {
+				return true
+			}
+			start := l.Fset.Position(n.Pos()).Line
+			end := l.Fset.Position(n.End()).Line
+			if end > start && !hasNestedStmt(n) {
+				spans = append(spans, stmtSpan{start, end})
+			}
+			return true
+		})
+		if spans != nil {
+			out[name] = spans
+		}
+	}
+	return out
+}
+
+// hasNestedStmt reports whether the statement contains another statement
+// (a block, a clause body, a func literal with a body...).
+func hasNestedStmt(stmt ast.Node) bool {
+	nested := false
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if nested || n == nil || n == stmt {
+			return !nested
+		}
+		if _, ok := n.(ast.Stmt); ok {
+			nested = true
+		}
+		return !nested
+	})
+	return nested
 }
 
 // suppressions scans a package's comments for ignore directives, keyed by

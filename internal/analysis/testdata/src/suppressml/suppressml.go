@@ -1,0 +1,58 @@
+// Package suppressml exercises the ignore directive against findings on
+// continuation lines of multi-line statements: before origin matching, a
+// directive above a multi-line struct literal failed to silence a finding
+// inside it — the finding's line is the field's line, not the statement's.
+package suppressml
+
+import "math/rand"
+
+type cfg struct {
+	jitter float64
+	scale  float64
+	bias   float64
+}
+
+// AboveLiteral's directive sits above the statement; the finding sits two
+// lines deeper, on the scale field. Origin matching maps the finding back
+// to the statement's first line, so the directive covers it.
+func AboveLiteral() cfg {
+	//opprox:vet-ignore globalrand
+	c := cfg{
+		jitter: 0,
+		scale:  rand.Float64(),
+		bias:   1,
+	}
+	return c
+}
+
+// OnLiteral's directive shares the statement's first line.
+func OnLiteral() cfg {
+	c := cfg{ //opprox:vet-ignore globalrand
+		jitter: 0,
+		bias:   rand.Float64(),
+	}
+	return c
+}
+
+// WrappedArgs covers the other multi-line shape: a call whose argument
+// list wraps, with the finding on a continuation line.
+func WrappedArgs() float64 {
+	//opprox:vet-ignore globalrand
+	return max(
+		0.5,
+		rand.Float64(),
+	)
+}
+
+// InsideLiteral's directive floats mid-literal, two lines above the
+// finding and away from the statement's first line: origin matching is
+// deliberately tight, so the finding stands.
+func InsideLiteral() cfg {
+	c := cfg{
+		//opprox:vet-ignore globalrand
+		jitter: 0,
+		scale:  0,
+		bias:   rand.Float64(),
+	}
+	return c
+}

@@ -25,6 +25,13 @@ echo "== opprox-vet =="
 echo "opprox-vet JSON report: opprox-vet.json"
 make -s vet
 
+echo "== opprox-scan =="
+# Static approximable-block discovery over the whole module; informational
+# (never fails on findings) but must run clean, and shares the
+# .opprox-cache content-addressed cache with opprox-vet.
+echo "opprox-scan JSON report: opprox-scan.json"
+make -s scan
+
 echo "== go build =="
 go build ./...
 
