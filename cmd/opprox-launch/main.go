@@ -61,8 +61,8 @@ func main() {
 		log.Fatal(err)
 	}
 
-	fmt.Fprintf(os.Stderr, "app %s, budget %.3g: predicted %.3fx speedup at %.2f degradation (optimized in %s)\n",
-		cfg.App, cfg.Budget, plan.Pred.Speedup, plan.Pred.Degradation, plan.Pred.OptimizeTime)
+	fmt.Fprintf(os.Stderr, "app %s, budget %.3g: predicted %.3fx speedup at %.2f degradation\n",
+		cfg.App, cfg.Budget, plan.Pred.Speedup, plan.Pred.Degradation)
 	for _, kv := range plan.Env {
 		fmt.Println(kv)
 	}

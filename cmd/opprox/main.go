@@ -37,6 +37,8 @@ func main() {
 	validate := flag.Int("validate", 0, "measure N fresh probes against the trained models and report calibration")
 	paramFlag := flag.String("params", "", "override input parameters, e.g. \"mesh=64,regions=4\"")
 	metrics := flag.String("metrics", "", "write a JSON metrics snapshot (run counts, cache hits, fit durations) to this file on exit")
+	frontLibrary := flag.Bool("front-library", false, "build the Pareto-front plan library at train time (persisted with -save)")
+	expandFeatures := flag.Bool("expand-features", false, "widen model inputs with derived interaction terms (MIC-pruned)")
 	flag.Parse()
 
 	if *metrics != "" {
@@ -83,6 +85,8 @@ func main() {
 	opts := opprox.DefaultOptions()
 	opts.Seed = *seed
 	opts.Phases = *phases
+	opts.FrontLibrary = *frontLibrary
+	opts.ExpandFeatures = *expandFeatures
 
 	sys := opprox.New(app)
 	if *profile {
@@ -146,8 +150,8 @@ func main() {
 	for ph, cfg := range sched.Levels {
 		fmt.Printf("  phase %d: %s\n", ph+1, cfg)
 	}
-	fmt.Printf("predicted: speedup %.3f, degradation %.2f (optimization took %s)\n",
-		pred.Speedup, pred.Degradation, pred.OptimizeTime)
+	fmt.Printf("predicted: speedup %.3f, degradation %.2f\n",
+		pred.Speedup, pred.Degradation)
 
 	ev, err := sys.Evaluate(params, sched)
 	if err != nil {

@@ -22,6 +22,12 @@ import (
 // trained on all records regardless of control flow.
 const pooledClass = "*"
 
+// maxExpandedKeep caps how many columns of the space-expanded basis the
+// MIC filter may keep (Options.ExpandFeatures). The quadratic derived
+// basis can clear a fixed threshold wholesale; an uncapped keep set would
+// push the polynomial degree search past the sample budget.
+const maxExpandedKeep = 12
+
 // filteredModel is a polynomial model plus the MIC feature mask that was
 // applied before fitting (paper §3.7).
 // targetScale selects the response transformation a model is fitted on.
@@ -63,8 +69,13 @@ func (sc targetScale) from(v float64) float64 {
 
 type filteredModel struct {
 	model *poly.Model
-	keep  []int // indices into the full feature vector
+	keep  []int // indices into the (possibly expanded) feature vector
 	scale targetScale
+	// expandN, when non-zero, is the raw feature count the model's
+	// space-expanded basis derives from (Options.ExpandFeatures): inputs
+	// are widened by poly.SpaceExpansion{NRaw: expandN} before the keep
+	// mask applies. Zero means the model reads raw features directly.
+	expandN int
 	// degree and cvScore document what the degree search chose; trainR2
 	// is the model's fit quality on its training data (routed fit for
 	// split models).
@@ -96,18 +107,40 @@ func (fm *filteredModel) predictRaw(full []float64) float64 {
 // costs a single pool round-trip.
 func (fm *filteredModel) predictRawScratch(full, scratch []float64) float64 {
 	if fm.lo != nil && fm.hi != nil {
+		// The split always routes on the raw feature vector, expansion or
+		// not: splitFeat was chosen by MIC over the raw inputs.
 		if full[fm.splitFeat] <= fm.splitVal {
 			return fm.lo.predictRawScratch(full, scratch)
 		}
 		return fm.hi.predictRawScratch(full, scratch)
 	}
-	x := full
-	if len(fm.keep) != len(full) {
-		x = scratch[:len(fm.keep)]
+	if fm.expandN > 0 {
+		// Space-expanded model: the derived vector and its own gather +
+		// standardization scratch are carved from one arena buffer — the
+		// caller's scratch was sized for the raw width.
+		se := poly.SpaceExpansion{NRaw: fm.expandN}
+		nd := se.Dim()
+		bufp := arena.Floats(3 * nd)
+		buf := *bufp
+		derived := se.ExpandInto(buf[:0:nd], full)
+		v := fm.leafPredict(derived, buf[nd:])
+		arena.PutFloats(bufp)
+		return v
+	}
+	return fm.leafPredict(full, scratch)
+}
+
+// leafPredict applies the keep mask and evaluates the fitted model on a
+// feature vector already in the model's input space (raw, or derived
+// when expandN > 0). scratch must hold 2*len(x) floats.
+func (fm *filteredModel) leafPredict(x, scratch []float64) float64 {
+	if len(fm.keep) != len(x) {
+		sel := scratch[:len(fm.keep)]
 		scratch = scratch[len(fm.keep):]
 		for i, j := range fm.keep {
-			x[i] = full[j]
+			sel[i] = x[j]
 		}
+		x = sel
 	}
 	return fm.model.PredictScratch(x, scratch)
 }
@@ -175,6 +208,15 @@ type Trained struct {
 	// calib holds optional canary-input calibration shifts (see
 	// CalibrateCanary); nil when the models are used as trained.
 	calib *canaryShift
+
+	// library holds the Pareto-front plan library (DESIGN.md §14): per
+	// (class, phase) the configurations that survive dominance pruning
+	// over a sample of training parameter vectors. Built at train time
+	// when Options.FrontLibrary is set, reconstructed by LoadTrained from
+	// the persisted survivor sets, or built on demand by
+	// EnableFrontLibrary. frontOn gates whether Optimize consults it.
+	library *planLibrary
+	frontOn bool
 }
 
 // Train runs OPPROX's offline pipeline for an application: phase search,
@@ -272,6 +314,11 @@ func FitRecords(app apps.App, phases int, records []Record, opts Options, rng *r
 			return nil, fmt.Errorf("pooled class: %w", err)
 		}
 		t.Classes[pooledClass] = cm
+	}
+	if opts.FrontLibrary {
+		if err := t.BuildFrontLibrary(); err != nil {
+			return nil, fmt.Errorf("front library: %w", err)
+		}
 	}
 	return t, nil
 }
@@ -430,12 +477,48 @@ func (t *Trained) fitTarget(xs [][]float64, ys []float64, scale targetScale, rng
 		}
 		ys = ly
 	}
+	fm, achieved, err := t.fitLeaf(xs, ys, rng)
+	if err != nil {
+		return nil, err
+	}
+	fm.scale = scale
+	if !achieved {
+		// Paper §3.7: if the model cannot reach the target accuracy over
+		// the whole set, split the inputs into magnitude-ordered halves on
+		// the most informative feature and fit a model per half. Keep the
+		// split only when it actually improves the training fit.
+		if split := t.trySplit(xs, ys, scale, rng); split != nil {
+			if r2 := splitR2(split, xs, ys); r2 > fm.trainR2 {
+				split.trainR2 = r2
+				return split, nil
+			}
+		}
+	}
+	return fm, nil
+}
+
+// fitLeaf runs the optional space expansion, MIC feature filtering, and
+// the auto-degree polynomial fit on already-transformed targets. It is
+// the shared leaf of fitTarget and fitHalf; the caller stamps the target
+// scale and handles the split fallback. trySplit always receives the RAW
+// rows — split routing happens before expansion in predictRawScratch.
+func (t *Trained) fitLeaf(xs [][]float64, ys []float64, rng *rand.Rand) (*filteredModel, bool, error) {
+	expandN := 0
+	if t.Opts.ExpandFeatures {
+		se := poly.SpaceExpansion{NRaw: len(xs[0])}
+		// Widen only when the sample budget can support the derived basis;
+		// tiny local sweeps keep the raw features.
+		if len(xs) >= 2*(se.Dim()+1) {
+			expandN = len(xs[0])
+			xs = se.ExpandRows(xs)
+		}
+	}
 	keep := make([]int, len(xs[0]))
 	for i := range keep {
 		keep[i] = i
 	}
 	if t.Opts.UseMIC && len(xs) >= 4 {
-		k, _, err := mic.FilterFeatures(xs, ys, t.Opts.MICThreshold)
+		k, _, err := mic.FilterFeaturesTop(xs, ys, t.Opts.MICThreshold, expandedKeepCap(expandN))
 		if err == nil && len(k) > 0 {
 			keep = k
 		}
@@ -456,26 +539,24 @@ func (t *Trained) fitTarget(xs [][]float64, ys []float64, scale targetScale, rng
 		folds = len(sel) / 2
 	}
 	if folds < 2 {
-		return nil, fmt.Errorf("%d samples are too few to cross-validate", len(sel))
+		return nil, false, fmt.Errorf("%d samples are too few to cross-validate", len(sel))
 	}
 	res, err := poly.AutoFit(sel, ys, t.Opts.TargetR2, t.Opts.MaxPolyDegree, folds, rng)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
-	fm := &filteredModel{model: res.Model, keep: keep, scale: scale, degree: res.Degree, cvScore: res.CVScore, trainR2: res.Model.TrainR2}
-	if !res.Achieved {
-		// Paper §3.7: if the model cannot reach the target accuracy over
-		// the whole set, split the inputs into magnitude-ordered halves on
-		// the most informative feature and fit a model per half. Keep the
-		// split only when it actually improves the training fit.
-		if split := t.trySplit(xs, ys, scale, rng); split != nil {
-			if r2 := splitR2(split, xs, ys); r2 > res.Model.TrainR2 {
-				split.trainR2 = r2
-				return split, nil
-			}
-		}
+	fm := &filteredModel{model: res.Model, keep: keep, expandN: expandN, degree: res.Degree, cvScore: res.CVScore, trainR2: res.Model.TrainR2}
+	return fm, res.Achieved, nil
+}
+
+// expandedKeepCap returns the MIC keep cap: unlimited for the raw basis
+// (preserving the pre-expansion behavior bit for bit), maxExpandedKeep for
+// a space-expanded one.
+func expandedKeepCap(expandN int) int {
+	if expandN > 0 {
+		return maxExpandedKeep
 	}
-	return fm, nil
+	return 0
 }
 
 // trySplit builds a depth-1 sub-model split on the feature with the
@@ -533,44 +614,15 @@ func (t *Trained) trySplit(xs [][]float64, ys []float64, scale targetScale, rng 
 }
 
 // fitHalf is fitTarget without the split fallback (so splits never nest).
+// trySplit hands it the already-transformed ys, so the fit runs directly
+// on them and the real scale is stamped afterward for fromRaw symmetry.
 func (t *Trained) fitHalf(xs [][]float64, ys []float64, scale targetScale, rng *rand.Rand) (*filteredModel, error) {
-	// ys arrive already transformed by the caller's scale handling? No —
-	// trySplit receives the transformed ys from fitTarget's caller path,
-	// so fit on them directly with scaleLinear and stamp the real scale
-	// afterward for fromRaw symmetry.
-	keep := make([]int, len(xs[0]))
-	for i := range keep {
-		keep[i] = i
-	}
-	if t.Opts.UseMIC && len(xs) >= 4 {
-		k, _, err := mic.FilterFeatures(xs, ys, t.Opts.MICThreshold)
-		if err == nil && len(k) > 0 {
-			keep = k
-		}
-	}
-	sel := xs
-	if len(keep) != len(xs[0]) {
-		sel = make([][]float64, len(xs))
-		for i, x := range xs {
-			row := make([]float64, len(keep))
-			for j, idx := range keep {
-				row[j] = x[idx]
-			}
-			sel[i] = row
-		}
-	}
-	folds := t.Opts.Folds
-	if folds > len(sel) {
-		folds = len(sel) / 2
-	}
-	if folds < 2 {
-		return nil, fmt.Errorf("%d samples are too few to cross-validate", len(sel))
-	}
-	res, err := poly.AutoFit(sel, ys, t.Opts.TargetR2, t.Opts.MaxPolyDegree, folds, rng)
+	fm, _, err := t.fitLeaf(xs, ys, rng)
 	if err != nil {
 		return nil, err
 	}
-	return &filteredModel{model: res.Model, keep: keep, scale: scale, degree: res.Degree, cvScore: res.CVScore, trainR2: res.Model.TrainR2}, nil
+	fm.scale = scale
+	return fm, nil
 }
 
 // splitR2 scores a split model's routed predictions on its training data
@@ -605,6 +657,11 @@ func (t *Trained) confFromResiduals(xs [][]float64, ys []float64, fm *filteredMo
 			residuals[i] = ys[i] - preds[i]
 		}
 		return conf.BandedFromResiduals(preds, residuals, t.Opts.ConfidenceP, 4)
+	}
+	if fm.expandN > 0 {
+		// The keep mask indexes the space-expanded basis, so the residual
+		// refit must see the same derived rows the model was trained on.
+		xs = poly.SpaceExpansion{NRaw: fm.expandN}.ExpandRows(xs)
 	}
 	sel := xs
 	if len(xs) > 0 && len(fm.keep) != len(xs[0]) {

@@ -3,7 +3,6 @@ package core
 import (
 	"fmt"
 	"sort"
-	"time"
 
 	"opprox/internal/approx"
 	"opprox/internal/apps"
@@ -11,6 +10,10 @@ import (
 )
 
 // Prediction is what the optimizer believes the chosen schedule will do.
+// It deliberately carries no wall-clock measurement: predictions flow
+// into serialized dispatch bodies and determinism goldens, so timing
+// lives in obs (core.optimize.duration) where the vet walltime analyzer
+// can see it is observability-only.
 type Prediction struct {
 	// Speedup is the composed application speedup estimate.
 	Speedup float64
@@ -18,8 +21,6 @@ type Prediction struct {
 	Degradation float64
 	// PerPhase breaks the plan down.
 	PerPhase []PhasePlan
-	// OptimizeTime is the wall-clock duration of the optimization.
-	OptimizeTime time.Duration
 }
 
 // PhasePlan is one phase's slice of the plan.
@@ -83,13 +84,21 @@ func (t *Trained) Optimize(p apps.Params, budget float64) (approx.Schedule, Pred
 		return order[a] < order[b]
 	})
 
-	// Each phase's configuration space is enumerated exactly once into an
+	// Each phase's configuration space is collapsed exactly once into an
 	// upgrade ladder; every budget query afterwards is a binary search, so
 	// the reallocation passes below cost O(log configs) instead of a full
-	// re-enumeration each.
-	menus := make([]phaseMenu, t.Phases)
-	for ph := range menus {
-		menus[ph] = t.buildPhaseMenu(cm.Phase[ph], pv)
+	// re-enumeration each. With the Pareto-front library enabled the
+	// ladder is built over the pruned survivor set in one batched predict
+	// pass (library.go); otherwise the full space is enumerated.
+	menus, err := t.frontMenus(cm, pv)
+	if err != nil {
+		return approx.Schedule{}, Prediction{}, err
+	}
+	if menus == nil {
+		menus = make([]phaseMenu, t.Phases)
+		for ph := range menus {
+			menus[ph] = t.buildPhaseMenu(cm.Phase[ph], pv)
+		}
 	}
 
 	// refill offers the pooled remainder to each phase (best ROI first)
@@ -269,7 +278,7 @@ func (t *Trained) Optimize(p apps.Params, budget float64) (approx.Schedule, Pred
 		savings = -4
 	}
 	pred.Speedup = 1 / (1 - savings)
-	pred.OptimizeTime = stop()
+	stop()
 	obs.Inc("core.optimize.runs")
 	return sched, pred, nil
 }

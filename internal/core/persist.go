@@ -32,6 +32,12 @@ type filteredDTO struct {
 	Degree  int         `json:"degree,omitempty"`
 	CVScore float64     `json:"cv_score,omitempty"`
 	TrainR2 float64     `json:"train_r2,omitempty"`
+	// ExpandN is the raw feature count of a space-expanded model
+	// (Options.ExpandFeatures); 0 means the model reads raw features.
+	// Like Calibration, older builds reject files that carry it — the
+	// right failure mode, since ignoring it would feed raw features to a
+	// model fitted on the derived basis.
+	ExpandN int `json:"expand_n,omitempty"`
 	// Sub-model split (paper §3.7).
 	SplitFeat int          `json:"split_feature,omitempty"`
 	SplitVal  float64      `json:"split_value,omitempty"`
@@ -40,7 +46,7 @@ type filteredDTO struct {
 }
 
 func exportFiltered(fm *filteredModel) filteredDTO {
-	d := filteredDTO{Model: fm.model, Keep: fm.keep, Scale: int(fm.scale), Degree: fm.degree, CVScore: fm.cvScore, TrainR2: fm.trainR2}
+	d := filteredDTO{Model: fm.model, Keep: fm.keep, Scale: int(fm.scale), Degree: fm.degree, CVScore: fm.cvScore, TrainR2: fm.trainR2, ExpandN: fm.expandN}
 	if fm.lo != nil && fm.hi != nil {
 		d.SplitFeat = fm.splitFeat
 		d.SplitVal = fm.splitVal
@@ -79,6 +85,9 @@ func importFiltered(d filteredDTO) (*filteredModel, error) {
 	if d.Model == nil || d.Model.Expansion == nil {
 		return nil, fmt.Errorf("core: model file is missing a polynomial model")
 	}
+	if d.ExpandN < 0 {
+		return nil, fmt.Errorf("core: negative space-expansion width %d", d.ExpandN)
+	}
 	return &filteredModel{
 		model:   d.Model,
 		keep:    d.Keep,
@@ -86,6 +95,7 @@ func importFiltered(d filteredDTO) (*filteredModel, error) {
 		degree:  d.Degree,
 		cvScore: d.CVScore,
 		trainR2: d.TrainR2,
+		expandN: d.ExpandN,
 	}, nil
 }
 
@@ -117,6 +127,17 @@ type calibDTO struct {
 	Degradation []float64 `json:"degradation"`
 }
 
+// libraryDTO persists the Pareto-front plan library's survivor sets
+// (DESIGN.md §14): per class, per phase, the strictly increasing
+// enumeration indices of the surviving configurations over the
+// non-accurate configuration space. Indices rather than level vectors
+// keep the encoding compact and make corruption detectable — every
+// index must round-trip through the block descriptors' enumeration.
+type libraryDTO struct {
+	// Classes maps control-flow signature to per-phase survivor indices.
+	Classes map[string][][]int `json:"classes"`
+}
+
 type modelFile struct {
 	Version     int                 `json:"version"`
 	Opts        Options             `json:"options"`
@@ -126,6 +147,9 @@ type modelFile struct {
 	ControlFlow *tree.ClassifierDTO `json:"control_flow,omitempty"`
 	Classes     map[string]classDTO `json:"classes"`
 	Calibration *calibDTO           `json:"calibration,omitempty"`
+	// Library carries the front library's survivor sets; like
+	// Calibration, older builds reject files that include it.
+	Library *libraryDTO `json:"front_library,omitempty"`
 }
 
 // Save writes the trained models as versioned JSON. Training records are
@@ -147,6 +171,17 @@ func (t *Trained) Save(w io.Writer) error {
 			Speedup:     append([]float64(nil), t.calib.spd...),
 			Degradation: append([]float64(nil), t.calib.deg...),
 		}
+	}
+	if t.library != nil {
+		ld := &libraryDTO{Classes: make(map[string][][]int, len(t.library.classes))}
+		for sig, cf := range t.library.classes {
+			phases := make([][]int, len(cf.phase))
+			for ph, pf := range cf.phase {
+				phases[ph] = append([]int{}, pf.idx...)
+			}
+			ld.Classes[sig] = phases
+		}
+		mf.Library = ld
 	}
 	for sig, cm := range t.Classes {
 		cd := classDTO{CtxSig: cm.CtxSig}
@@ -279,5 +314,61 @@ func LoadTrained(r io.Reader) (*Trained, error) {
 		}
 		t.Classes[sig] = cm
 	}
+	if mf.Library != nil {
+		if err := t.importLibrary(mf.Library); err != nil {
+			return nil, fmt.Errorf("core: model file front library: %w", err)
+		}
+	}
 	return t, nil
+}
+
+// importLibrary reconstructs the Pareto-front plan library from its
+// persisted survivor indices and switches the optimizer onto it. Every
+// index is validated against the enumeration of the block descriptors in
+// the same file, so a truncated or hand-edited library fails at load
+// time instead of producing silently wrong plans.
+func (t *Trained) importLibrary(ld *libraryDTO) error {
+	if len(ld.Classes) == 0 {
+		return fmt.Errorf("library block has no classes")
+	}
+	space := enumerateSpace(t.Blocks)
+	lib := &planLibrary{classes: make(map[string]*classFronts, len(ld.Classes))}
+	sigs := make([]string, 0, len(ld.Classes))
+	for sig := range ld.Classes {
+		sigs = append(sigs, sig)
+	}
+	sort.Strings(sigs)
+	for _, sig := range sigs {
+		if _, ok := t.Classes[sig]; !ok {
+			return fmt.Errorf("library covers unknown class %q", sig)
+		}
+		phases := ld.Classes[sig]
+		if len(phases) != t.Phases {
+			return fmt.Errorf("library class %q has %d phases, model has %d", sig, len(phases), t.Phases)
+		}
+		cf := &classFronts{phase: make([]*phaseFront, len(phases))}
+		for ph, idx := range phases {
+			pf := &phaseFront{}
+			prev := -1
+			for _, j := range idx {
+				if j <= prev || j >= len(space) {
+					return fmt.Errorf("library class %q phase %d: survivor index %d invalid (previous %d, space %d)",
+						sig, ph, j, prev, len(space))
+				}
+				prev = j
+				pf.idx = append(pf.idx, j)
+				pf.cfgs = append(pf.cfgs, space[j])
+			}
+			cf.phase[ph] = pf
+		}
+		lib.classes[sig] = cf
+	}
+	for _, sig := range t.classSigs() {
+		if _, ok := lib.classes[sig]; !ok {
+			return fmt.Errorf("library is missing class %q", sig)
+		}
+	}
+	t.library = lib
+	t.frontOn = true
+	return nil
 }

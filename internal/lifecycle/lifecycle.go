@@ -75,6 +75,12 @@ type Options struct {
 	// cached plans immediately. Called with the model's state lock held —
 	// the callback must not call back into the Manager.
 	OnSwap func(name string)
+	// OnLoad, when set, runs on every model the manager materializes —
+	// first resolve, hot reload, and the recalibration clone — before it
+	// can serve or shadow. The serving layer hooks per-model setup here
+	// (-front-library builds the Pareto-front plan library). An error
+	// fails the load; the last-good state keeps serving.
+	OnLoad func(tr *core.Trained) error
 }
 
 func (o Options) withDefaults() Options {
@@ -194,6 +200,9 @@ func (m *Manager) state(ctx context.Context, name string) (*modelState, error) {
 		if err != nil {
 			return nil, fmt.Errorf("model %q: %w", name, err)
 		}
+		if err := m.afterLoad(tr); err != nil {
+			return nil, fmt.Errorf("model %q: %w", name, err)
+		}
 		m.reg.Install(name, tr)
 		return &modelState{
 			name:        name,
@@ -303,6 +312,9 @@ func (m *Manager) CreateShadow(name string, addSpd, addDeg []float64) (string, e
 	// correction into whatever calibration the live model already has.
 	clone, err := core.LoadTrained(bytes.NewReader(st.liveRaw))
 	if err != nil {
+		return "", fmt.Errorf("lifecycle: cloning live model: %w", err)
+	}
+	if err := m.afterLoad(clone); err != nil {
 		return "", fmt.Errorf("lifecycle: cloning live model: %w", err)
 	}
 	spd, deg, ok := clone.CalibrationShifts()
@@ -494,6 +506,9 @@ func (m *Manager) Reload(ctx context.Context, name string) (bool, error) {
 	if err != nil {
 		return false, fmt.Errorf("model %q: %w", name, err)
 	}
+	if err := m.afterLoad(tr); err != nil {
+		return false, fmt.Errorf("model %q: %w", name, err)
+	}
 	ver := Version(raw)
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -507,6 +522,14 @@ func (m *Manager) Reload(ctx context.Context, name string) (bool, error) {
 	m.noteSwap(name)
 	obs.Inc("lifecycle.reload")
 	return true, nil
+}
+
+// afterLoad runs the OnLoad hook on a freshly materialized model.
+func (m *Manager) afterLoad(tr *core.Trained) error {
+	if m.opts.OnLoad == nil {
+		return nil
+	}
+	return m.opts.OnLoad(tr)
 }
 
 // noteSwap fires the OnSwap hook after a live-version change.

@@ -96,6 +96,40 @@ func PutInts(s *[]int) {
 	intPools[b].Put(s)
 }
 
+// Slab carves many float buffers out of one pooled allocation. Callers
+// that need a handful of related scratch vectors (the batched
+// prediction passes of the Pareto-front library carve a dozen) take one
+// Slab sized for the sum instead of a pool round-trip per vector, and
+// release everything with a single Release. Carved slices follow arena
+// rules: uninitialized on Floats, invalid after Release.
+type Slab struct {
+	buf  *[]float64
+	next int
+}
+
+// NewSlab returns a slab with capacity for n float64s in total.
+func NewSlab(n int) *Slab {
+	return &Slab{buf: Floats(n)}
+}
+
+// Floats carves the next n float64s from the slab (uninitialized).
+// Carved slices have exact capacity, so appends cannot silently bleed
+// into a neighbouring carve. Carving past the backing buffer panics:
+// sizes are static at every call site, so an overrun is a programming
+// error, not a runtime condition.
+func (s *Slab) Floats(n int) []float64 {
+	out := (*s.buf)[s.next : s.next+n : s.next+n]
+	s.next += n
+	return out
+}
+
+// Release returns the slab's backing buffer to the pool. The slab and
+// every slice carved from it are invalid afterwards.
+func (s *Slab) Release() {
+	PutFloats(s.buf)
+	s.buf = nil
+}
+
 // Rows returns a pooled [][]float64 of length n with every element nil.
 // Cross-validation uses these for fold splits: the elements alias caller
 // rows, so Rows clears them on Get rather than trusting the previous user.

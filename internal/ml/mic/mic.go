@@ -223,3 +223,26 @@ func FilterFeatures(xs [][]float64, ys []float64, threshold float64) ([]int, []f
 	}
 	return keep, scores, nil
 }
+
+// FilterFeaturesTop is FilterFeatures with a cap on the kept set: when
+// more than maxKeep columns clear the threshold, only the maxKeep
+// highest-scoring survive. Ties on score are broken toward the lower
+// column index, and the returned indices are ascending either way, so
+// the selection is deterministic. The space-expanded feature path uses
+// it: a quadratic derived basis can clear a fixed threshold wholesale,
+// and an uncapped keep set would push the polynomial degree search past
+// the sample budget.
+func FilterFeaturesTop(xs [][]float64, ys []float64, threshold float64, maxKeep int) ([]int, []float64, error) {
+	keep, scores, err := FilterFeatures(xs, ys, threshold)
+	if err != nil {
+		return nil, nil, err
+	}
+	if maxKeep <= 0 || len(keep) <= maxKeep {
+		return keep, scores, nil
+	}
+	ranked := append([]int(nil), keep...)
+	sort.SliceStable(ranked, func(a, b int) bool { return scores[ranked[a]] > scores[ranked[b]] })
+	ranked = ranked[:maxKeep]
+	sort.Ints(ranked)
+	return ranked, scores, nil
+}

@@ -1,0 +1,66 @@
+package poly
+
+import "math"
+
+// log1pAbs is the magnitude-compression transform of the derived
+// feature space: symmetric in sign, 0 at 0, near-linear for small
+// values, logarithmic for large ones.
+func log1pAbs(v float64) float64 { return math.Log1p(math.Abs(v)) }
+
+// SpaceExpansion derives interaction and shape features from a raw
+// feature vector before MIC filtering and polynomial fitting (the
+// expanded feature space of Nikkhah et al., PAPERS.md). Where the
+// monomial Expansion operates after standardization and inside one
+// model, SpaceExpansion widens the raw inputs themselves, so the MIC
+// filter can keep a product or log term whose raw factors it would have
+// dropped individually — the degree search then works over a basis that
+// already contains the informative shapes.
+//
+// The derived layout is deterministic and depends only on NRaw:
+//
+//	[x_0 .. x_{n-1},  log1p|x_0| .. log1p|x_{n-1}|,  x_i*x_j for i<j]
+//
+// raw features first (so an expansion is always a superset of the raw
+// space), then the log-compressed magnitudes (heavy-tailed sizes become
+// near-linear), then the pairwise products in (i, j) lexicographic
+// order.
+type SpaceExpansion struct {
+	// NRaw is the raw feature count the expansion derives from.
+	NRaw int
+}
+
+// Dim returns the derived feature count: n raw + n logs + n(n-1)/2
+// pairwise products.
+func (e SpaceExpansion) Dim() int {
+	return 2*e.NRaw + e.NRaw*(e.NRaw-1)/2
+}
+
+// ExpandInto appends the derived features of x to dst and returns it.
+// len(x) must equal NRaw.
+func (e SpaceExpansion) ExpandInto(dst, x []float64) []float64 {
+	dst = append(dst, x...)
+	for _, v := range x {
+		dst = append(dst, log1pAbs(v))
+	}
+	for i := 0; i < e.NRaw; i++ {
+		for j := i + 1; j < e.NRaw; j++ {
+			dst = append(dst, x[i]*x[j])
+		}
+	}
+	return dst
+}
+
+// Expand returns the derived features of x as a fresh slice.
+func (e SpaceExpansion) Expand(x []float64) []float64 {
+	return e.ExpandInto(make([]float64, 0, e.Dim()), x)
+}
+
+// ExpandRows expands every row of xs into fresh slices — the training
+// path, whose design matrices retain the rows.
+func (e SpaceExpansion) ExpandRows(xs [][]float64) [][]float64 {
+	out := make([][]float64, len(xs))
+	for i, x := range xs {
+		out[i] = e.Expand(x)
+	}
+	return out
+}

@@ -192,6 +192,55 @@ func (m *Model) PredictInto(dst []float64, xs [][]float64) {
 	arena.PutFloats(bufp)
 }
 
+// PredictBatch evaluates the model at every row of xs into dst (which
+// must have length len(xs)) through one batched pass: every row is
+// standardized into a shared row-major matrix, the whole matrix runs
+// through the compiled expansion via TransformAll, and each prediction
+// is the coefficient dot product over its design row, accumulated in
+// term order. The arithmetic per row — standardize, termVal, ordered
+// sum — is exactly PredictScratch's, so the batched predictions are
+// bit-for-bit identical to the scalar path (equivalence tests pin
+// this). The Pareto-front plan library uses it to evaluate a phase's
+// whole configuration space in one pass.
+func (m *Model) PredictBatch(dst []float64, xs [][]float64) error {
+	if len(dst) != len(xs) {
+		return fmt.Errorf("poly: PredictBatch dst length %d for %d rows", len(dst), len(xs))
+	}
+	if len(xs) == 0 {
+		return nil
+	}
+	nf := m.Expansion.NFeatures
+	stdp := arena.Floats(len(xs) * nf)
+	defer arena.PutFloats(stdp)
+	std := *stdp
+	viewsp := arena.Rows(len(xs))
+	defer arena.PutRows(viewsp)
+	views := *viewsp
+	for i, x := range xs {
+		if len(x) != nf {
+			return fmt.Errorf("poly: PredictBatch row %d has %d features, model expects %d", i, len(x), nf)
+		}
+		row := std[i*nf : (i+1)*nf]
+		standardize(row, x, m.Mean, m.Scale)
+		views[i] = row
+	}
+	design := designPool.Get().(*linalg.Matrix)
+	defer designPool.Put(design)
+	if err := m.Expansion.TransformAll(design, views); err != nil {
+		return err
+	}
+	nt := m.Expansion.NumTerms()
+	for i := range xs {
+		row := design.Data[i*nt : (i+1)*nt]
+		s := 0.0
+		for t, c := range m.Coeffs {
+			s += c * row[t]
+		}
+		dst[i] = s
+	}
+	return nil
+}
+
 // PredictAll evaluates the model at every row of xs.
 func (m *Model) PredictAll(xs [][]float64) []float64 {
 	out := make([]float64, len(xs))

@@ -273,6 +273,78 @@ func TestShardedPromoteRollbackCoherence(t *testing.T) {
 	}
 }
 
+// TestServingConformanceFrontLibrary extends the byte-identity matrix
+// with a sixth path: a server running with the Pareto-front plan library
+// (-front-library) must serve bodies byte-identical to the menu-path
+// baseline — cold, cached, and across a full promote -> rollback cycle,
+// where the OnLoad hook has to rebuild the library for the recalibrated
+// shadow and again for the restored original.
+func TestServingConformanceFrontLibrary(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a model; skipped with -short")
+	}
+	store := newFakeStore()
+	store.files["pso.json"] = trainedModelJSON(t)
+
+	menuSrv := newTestServer(t, store)
+	want := conformanceDispatch(t, menuSrv.URL)
+
+	withFront := func(o *Options) { o.FrontLibrary = true }
+	frontSrv := newTestServer(t, store, withFront)
+	assertSameBody(t, "front-library cold", conformanceDispatch(t, frontSrv.URL), want)
+	assertSameBody(t, "front-library cache hit", conformanceDispatch(t, frontSrv.URL), want)
+
+	// Promote -> rollback on a front-library server: the shadow version is
+	// recalibrated and re-loaded through the OnLoad hook, so every step
+	// must still track the menu path byte for byte.
+	opts := pilotOptions(store)
+	opts.Lifecycle.DisableAutoPromote = true
+	opts.FrontLibrary = true
+	srv := New(opts)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	original := conformanceDispatch(t, ts.URL)
+	assertSameBody(t, "front-library pilot cold", original, want)
+	var dr DispatchResponse
+	if err := json.Unmarshal(original, &dr); err != nil {
+		t.Fatal(err)
+	}
+	shadowed := false
+	for i := 0; i < 50 && !shadowed; i++ {
+		status, body := postJSON(t, ts.URL+"/v1/feedback", driftedFeedback(dr.DispatchID))
+		if status != http.StatusOK {
+			t.Fatalf("feedback: %d %s", status, body)
+		}
+		var fr feedbackResponse
+		if err := json.Unmarshal(body, &fr); err != nil {
+			t.Fatal(err)
+		}
+		shadowed = fr.ShadowCreated != ""
+	}
+	if !shadowed {
+		t.Fatal("drift feedback never created a shadow")
+	}
+	if status, body := postJSON(t, ts.URL+"/v1/promote", `{"model": "pso.json"}`); status != http.StatusOK {
+		t.Fatalf("promote: %d %s", status, body)
+	}
+	promoted := conformanceDispatch(t, ts.URL)
+	if bytes.Equal(promoted, original) {
+		t.Fatal("promote did not change the served plan")
+	}
+	// Menu path and front path agree on the promoted version too: a fresh
+	// menu-only server over the promoted store serves the same bytes.
+	menuPromoted := newTestServer(t, store)
+	assertSameBody(t, "menu server on promoted store", conformanceDispatch(t, menuPromoted.URL), promoted)
+	frontPromoted := newTestServer(t, store, withFront)
+	assertSameBody(t, "front server on promoted store", conformanceDispatch(t, frontPromoted.URL), promoted)
+
+	if status, body := postJSON(t, ts.URL+"/v1/rollback", `{"model": "pso.json"}`); status != http.StatusOK {
+		t.Fatalf("rollback: %d %s", status, body)
+	}
+	assertSameBody(t, "front-library post-rollback", conformanceDispatch(t, ts.URL), original)
+}
+
 // TestClusterEndpoint checks the introspection view from both a
 // standalone server and each member of a sharded fleet.
 func TestClusterEndpoint(t *testing.T) {

@@ -79,6 +79,12 @@ type Options struct {
 	// PlanCacheCap bounds the dispatch-plan cache (0: DefaultPlanCacheCap;
 	// negative: disable caching — every dispatch recomputes).
 	PlanCacheCap int
+	// FrontLibrary switches every model this server loads onto the
+	// Pareto-front plan library (core.Trained.EnableFrontLibrary):
+	// models persisted without a library build one at load time, before
+	// the version starts serving. Applies across the whole lifecycle —
+	// first load, hot reload, shadow recalibration, promote, rollback.
+	FrontLibrary bool
 }
 
 // Server answers dispatch requests against a model registry. Create with
@@ -114,7 +120,22 @@ func New(opts Options) *Server {
 	if opts.Store == nil {
 		opts.Store = FileStore{}
 	}
-	reg := NewRegistry(opts.Store, opts.Registry)
+	regOpts := opts.Registry
+	if opts.FrontLibrary {
+		// Chain rather than replace: a caller-provided hook still runs,
+		// after the library is in place.
+		callerLoad := regOpts.OnLoad
+		regOpts.OnLoad = func(tr *core.Trained) error {
+			if err := tr.EnableFrontLibrary(); err != nil {
+				return err
+			}
+			if callerLoad != nil {
+				return callerLoad(tr)
+			}
+			return nil
+		}
+	}
+	reg := NewRegistry(opts.Store, regOpts)
 	var pub lifecycle.Publisher
 	if p, ok := opts.Store.(lifecycle.Publisher); ok {
 		pub = p
@@ -137,6 +158,21 @@ func New(opts Options) *Server {
 		s.plans.invalidateModel(name)
 		if callerSwap != nil {
 			callerSwap(name)
+		}
+	}
+	if opts.FrontLibrary {
+		// The lifecycle manager loads models outside the registry (first
+		// resolve, reload, recalibration clone), so the hook rides both
+		// paths.
+		callerLoad := lcOpts.OnLoad
+		lcOpts.OnLoad = func(tr *core.Trained) error {
+			if err := tr.EnableFrontLibrary(); err != nil {
+				return err
+			}
+			if callerLoad != nil {
+				return callerLoad(tr)
+			}
+			return nil
 		}
 	}
 	s.mgr = lifecycle.NewManager(reg, pub, lcOpts)
