@@ -52,6 +52,7 @@ var defaultPackages = []string{
 	"./internal/feedback",
 	"./internal/serve",
 	"./internal/shard",
+	"./internal/admission",
 }
 
 // Result is one benchmark measurement.

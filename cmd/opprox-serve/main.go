@@ -16,6 +16,7 @@
 //	POST /v1/rollback  {"model": "pso.json"}
 //	POST /v1/reload    {"model": "pso.json"}  (empty body reloads all)
 //	GET  /v1/cluster   shard topology: replicas + model ownership
+//	GET  /v1/admission admission/ladder state; POST {"force_step": N} pins it
 //	GET  /healthz
 //	GET  /metricsz
 //
@@ -43,6 +44,15 @@
 // sharded fleet: models are partitioned across replicas by rendezvous
 // hashing and any replica proxies requests for models it does not own
 // to the owner (see GET /v1/cluster).
+//
+// Overload handling: concurrent dispatch computations are capped
+// (-max-inflight) and a load-adaptive degradation ladder serves
+// cache hits, budget-coarsened plans (-coarse-quantum), then a
+// deterministic all-accurate fallback, then 429 + Retry-After as
+// pressure rises — see GET /v1/admission. Optional rate limiting
+// (-client-rate, -global-rate, -failure-limit and friends) fronts
+// /v1/dispatch and /v1/feedback with per-client and global token
+// buckets plus an invalid-body lockout.
 package main
 
 import (
@@ -59,9 +69,11 @@ import (
 	"syscall"
 	"time"
 
+	"opprox/internal/admission"
 	"opprox/internal/feedback"
 	"opprox/internal/lifecycle"
 	"opprox/internal/obs"
+	"opprox/internal/qos"
 	"opprox/internal/serve"
 )
 
@@ -107,6 +119,18 @@ func main() {
 	frontLibrary := flag.Bool("front-library", false, "build the Pareto-front plan library for every loaded model (fast dispatch-time optimization)")
 	shardSelf := flag.String("shard-self", "", "this replica's name in a sharded fleet (requires -shard-replicas)")
 	shardReplicas := flag.String("shard-replicas", "", "comma-separated name=url replica set, including self (e.g. a=http://127.0.0.1:7077,b=http://127.0.0.1:7078)")
+	maxInFlight := flag.Int("max-inflight", 0, "max concurrent dispatch computations (0: default, negative: uncapped)")
+	clientRate := flag.Float64("client-rate", 0, "per-client admission rate in requests/s (0: unlimited)")
+	clientBurst := flag.Float64("client-burst", 0, "per-client token-bucket burst (0: defaults from -client-rate)")
+	globalRate := flag.Float64("global-rate", 0, "global admission rate in requests/s across all clients (0: unlimited)")
+	globalBurst := flag.Float64("global-burst", 0, "global token-bucket burst (0: defaults from -global-rate)")
+	failureLimit := flag.Int("failure-limit", 0, "invalid bodies within -failure-window that lock a client out (0: no lockout)")
+	failureWindow := flag.Duration("failure-window", 0, "sliding window for -failure-limit (0: default)")
+	lockout := flag.Duration("lockout", 0, "how long a locked-out client stays rejected (0: default)")
+	maxClients := flag.Int("max-clients", 0, "bound on tracked per-client limiter state (0: default)")
+	coarseQuantum := flag.Float64("coarse-quantum", 0, "budget grid of degradation-ladder step 1 (0: default, negative: no quantization)")
+	ladderDwell := flag.Int("ladder-dwell", 0, "consecutive calm pressure updates before the ladder steps down (0: default)")
+	forceLadderStep := flag.Int("force-ladder-step", -1, "pin the degradation ladder to a step at startup (-1: load-controlled)")
 	flag.Parse()
 
 	var flog *feedback.Log
@@ -117,6 +141,23 @@ func main() {
 			log.Fatal(err)
 		}
 		defer flog.Close()
+	}
+
+	// Rate limiting is opt-in: the limiter exists only when at least
+	// one admission knob is set, so a bare opprox-serve behaves exactly
+	// as before (the in-flight gate and degradation ladder always run).
+	var adm *admission.Options
+	if *clientRate > 0 || *globalRate > 0 || *failureLimit > 0 {
+		adm = &admission.Options{
+			ClientRate:    *clientRate,
+			ClientBurst:   *clientBurst,
+			GlobalRate:    *globalRate,
+			GlobalBurst:   *globalBurst,
+			FailureLimit:  *failureLimit,
+			FailureWindow: *failureWindow,
+			Lockout:       *lockout,
+			MaxClients:    *maxClients,
+		}
 	}
 
 	srv := serve.New(serve.Options{
@@ -143,7 +184,17 @@ func main() {
 		DisableAutoRecalibrate: !*autoRecal,
 		PlanCacheCap:           *planCache,
 		FrontLibrary:           *frontLibrary,
+		Admission:              adm,
+		MaxInFlight:            *maxInFlight,
+		Ladder:                 qos.LadderOptions{Dwell: *ladderDwell},
+		CoarseQuantum:          *coarseQuantum,
 	})
+	if *forceLadderStep >= 0 {
+		if err := srv.ForceLadderStep(*forceLadderStep); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("degradation ladder pinned to step %d", *forceLadderStep)
+	}
 
 	if (*shardSelf == "") != (*shardReplicas == "") {
 		log.Fatal("-shard-self and -shard-replicas must be set together")

@@ -1,0 +1,68 @@
+package admission
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Gate bounds concurrent in-flight computations with a buffered-channel
+// semaphore and counts how many callers are queued behind it. The
+// serving layer acquires a slot *before* spawning a dispatch worker
+// goroutine, so a burst of timed-out requests can abandon at most Cap
+// running computations — the rest never start (the goroutine-leak fix,
+// ISSUE 9) — and InFlight/Waiting become the load signals the
+// degradation ladder steers by.
+type Gate struct {
+	sem     chan struct{}
+	waiting atomic.Int64
+}
+
+// NewGate builds a gate admitting up to capacity concurrent holders
+// (minimum 1).
+func NewGate(capacity int) *Gate {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Gate{sem: make(chan struct{}, capacity)}
+}
+
+// Acquire takes a slot, blocking until one frees or ctx is done (the
+// queue wait is bounded by the request deadline). It returns ctx.Err()
+// without a slot on timeout/cancel.
+func (g *Gate) Acquire(ctx context.Context) error {
+	select {
+	case g.sem <- struct{}{}:
+		return nil
+	default:
+	}
+	g.waiting.Add(1)
+	defer g.waiting.Add(-1)
+	select {
+	case g.sem <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TryAcquire takes a slot only if one is free right now.
+func (g *Gate) TryAcquire() bool {
+	select {
+	case g.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release returns a slot taken by Acquire/TryAcquire.
+func (g *Gate) Release() { <-g.sem }
+
+// InFlight reports current slot holders.
+func (g *Gate) InFlight() int { return len(g.sem) }
+
+// Waiting reports callers blocked in Acquire.
+func (g *Gate) Waiting() int { return int(g.waiting.Load()) }
+
+// Cap reports the gate's capacity.
+func (g *Gate) Cap() int { return cap(g.sem) }

@@ -1,6 +1,8 @@
 package flight
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -19,8 +21,16 @@ import (
 // may depend only on keys[i]/payloads[i] — so that how a burst happened
 // to be grouped into batches can never change any individual result
 // (coalescing determinism; the serving conformance suite pins it).
+// One asymmetry with Group: *transient* errors are never cached. A
+// deadline-expired or canceled computation (or anything the optional
+// SetTransient classifier matches) is delivered to the callers already
+// blocked on it, but its slot is dropped immediately — the next Do for
+// the same key starts fresh instead of replaying the stale error until
+// someone calls Forget. Without this, one slow request poisons every
+// later identical dispatch for the Forget-free window.
 type Batcher[P, V any] struct {
-	run func(keys []string, payloads []P) ([]V, []error)
+	run       func(keys []string, payloads []P) ([]V, []error)
+	transient func(error) bool
 
 	mu      sync.Mutex
 	slots   map[string]*bslot[V]
@@ -52,8 +62,21 @@ type batchItem[P, V any] struct {
 // success for the missing entries; a short vs slice is reported as an
 // error on the missing keys, never a zero-value success).
 func NewBatcher[P, V any](run func(keys []string, payloads []P) ([]V, []error)) *Batcher[P, V] {
-	return &Batcher[P, V]{run: run, slots: map[string]*bslot[V]{}}
+	return &Batcher[P, V]{run: run, transient: TransientContextError, slots: map[string]*bslot[V]{}}
 }
+
+// TransientContextError is the default transient-error classifier:
+// context deadline expiry and cancellation, the errors a timed-out or
+// abandoned computation surfaces.
+func TransientContextError(err error) bool {
+	return errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled)
+}
+
+// SetTransient replaces the transient-error classifier (nil caches
+// every error until Forget, the original Group semantics). Call before
+// the batcher is in use; it is not synchronized against running
+// batches.
+func (b *Batcher[P, V]) SetTransient(f func(error) bool) { b.transient = f }
 
 // Do returns the value for key, computing it through the batch function
 // on first use. Concurrent callers for the same key block until the
@@ -61,7 +84,9 @@ func NewBatcher[P, V any](run func(keys []string, payloads []P) ([]V, []error)) 
 // callers for distinct keys are computed together in one batch by
 // whichever caller found the batcher idle. The third return reports
 // whether the slot already existed before this call (a coalesced hit).
-// Results and errors stay cached until Forget, exactly like Group.Do.
+// Results and non-transient errors stay cached until Forget, like
+// Group.Do; transient errors (see SetTransient) are delivered but not
+// cached.
 func (b *Batcher[P, V]) Do(key string, payload P) (V, error, bool) {
 	b.mu.Lock()
 	if s, ok := b.slots[key]; ok {
@@ -114,6 +139,17 @@ func (b *Batcher[P, V]) runBatch(items []batchItem[P, V]) {
 			it.slot.err = errs[i]
 		case i >= len(vs):
 			it.slot.err = fmt.Errorf("flight: batch returned %d results for %d keys", len(vs), len(items))
+		}
+		if it.slot.err != nil && b.transient != nil && b.transient(it.slot.err) {
+			// Drop the slot before waiters wake: callers blocked on this
+			// flight still get the error, but the next Do recomputes
+			// instead of replaying it. Guard on identity — the key may
+			// have been Forgotten and re-flown while this batch ran.
+			b.mu.Lock()
+			if b.slots[it.key] == it.slot {
+				delete(b.slots, it.key)
+			}
+			b.mu.Unlock()
 		}
 		it.slot.ready.Store(true)
 		close(it.slot.done)

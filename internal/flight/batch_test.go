@@ -1,6 +1,7 @@
 package flight
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -158,6 +159,125 @@ func TestBatcherErrorsCachedUntilForget(t *testing.T) {
 	}
 	if calls.Load() != 2 {
 		t.Fatalf("Forget did not trigger recompute: %d calls", calls.Load())
+	}
+}
+
+// TestBatcherTransientErrorsNotCached pins the overload-path fix: a
+// deadline/cancel error is delivered to the callers blocked on the
+// flight but never cached, so a retry of the same key after a timeout
+// recomputes (and succeeds) without anyone calling Forget.
+func TestBatcherTransientErrorsNotCached(t *testing.T) {
+	var calls atomic.Int64
+	b := NewBatcher(func(keys []string, payloads []int) ([]int, []error) {
+		n := calls.Add(1)
+		out := make([]int, len(keys))
+		errs := make([]error, len(keys))
+		for i := range keys {
+			if n == 1 {
+				errs[i] = fmt.Errorf("reading store: %w", context.DeadlineExceeded)
+			} else {
+				out[i] = payloads[i]
+			}
+		}
+		return out, errs
+	})
+
+	if _, err, _ := b.Do("k", 1); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("first Do err = %v, want DeadlineExceeded", err)
+	}
+	// No Forget: the retry must start a fresh flight and succeed.
+	if v, err, hit := b.Do("k", 2); err != nil || v != 2 || hit {
+		t.Fatalf("retry Do = (%d, %v, hit=%v), want fresh (2, nil, false)", v, err, hit)
+	}
+	if b.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (only the successful slot cached)", b.Len())
+	}
+
+	// A custom classifier widens what counts as transient.
+	sentinel := errors.New("store wobble")
+	b2 := NewBatcher(func(keys []string, payloads []int) ([]int, []error) {
+		errs := make([]error, len(keys))
+		if calls.Add(1)%2 == 1 {
+			for i := range errs {
+				errs[i] = sentinel
+			}
+		}
+		return make([]int, len(keys)), errs
+	})
+	b2.SetTransient(func(err error) bool { return errors.Is(err, sentinel) })
+	calls.Store(0)
+	if _, err, _ := b2.Do("k", 1); !errors.Is(err, sentinel) {
+		t.Fatalf("first Do err = %v, want sentinel", err)
+	}
+	if _, err, hit := b2.Do("k", 1); err != nil || hit {
+		t.Fatalf("retry after classified-transient error: err=%v hit=%v", err, hit)
+	}
+}
+
+// TestBatcherTransientErrorStress hammers the timeout/retry cycle: a
+// batch function that fails with a context error whenever an "overload"
+// flag is set must never poison the key — every retry after the flag
+// clears succeeds immediately.
+func TestBatcherTransientErrorStress(t *testing.T) {
+	var overloaded atomic.Bool
+	b := NewBatcher(func(keys []string, payloads []int) ([]int, []error) {
+		out := make([]int, len(keys))
+		errs := make([]error, len(keys))
+		for i := range keys {
+			if overloaded.Load() {
+				errs[i] = context.DeadlineExceeded
+			} else {
+				out[i] = payloads[i] + 1
+			}
+		}
+		return out, errs
+	})
+
+	const workers = 8
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // flips overload on and off under the workers
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			overloaded.Store(i%2 == 0)
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+		overloaded.Store(false)
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				key := fmt.Sprintf("k%d", i%4)
+				v, err, _ := b.Do(key, i)
+				if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+					t.Errorf("unexpected error: %v", err)
+					return
+				}
+				if err == nil && v <= 0 {
+					t.Errorf("Do returned zero-value success: %d", v)
+					return
+				}
+				b.Forget(key) // values vary by payload; keep flights fresh
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+
+	// Steady state after the storm: same keys, no Forget needed even
+	// though their last flight may have failed transiently.
+	for i := 0; i < 4; i++ {
+		key := fmt.Sprintf("k%d", i)
+		if v, err, _ := b.Do(key, 10+i); err != nil || v != 11+i {
+			t.Fatalf("post-storm Do(%s) = (%d, %v), want (%d, nil)", key, v, err, 11+i)
+		}
 	}
 }
 

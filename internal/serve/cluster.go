@@ -111,12 +111,12 @@ func (s *Server) proxyToOwner(w http.ResponseWriter, req *http.Request, model, p
 		return false
 	}
 	obs.Inc("serve.cluster.proxied")
-	status, ctype, respBody, err := c.post(owner, path, body)
+	status, hdr, respBody, err := c.post(owner, path, body, clientKey(req))
 	if err != nil {
 		writeError(w, err)
 		return true
 	}
-	relay(w, status, ctype, respBody)
+	relay(w, status, hdr, respBody)
 	return true
 }
 
@@ -135,7 +135,7 @@ func (s *Server) forwardFeedback(w http.ResponseWriter, req *http.Request, dispa
 		if peer == c.self {
 			continue
 		}
-		status, ctype, respBody, err := c.post(peer, "/v1/feedback", body)
+		status, hdr, respBody, err := c.post(peer, "/v1/feedback", body, clientKey(req))
 		if err != nil {
 			obs.Inc("serve.cluster.feedback_peer_error")
 			continue
@@ -144,42 +144,55 @@ func (s *Server) forwardFeedback(w http.ResponseWriter, req *http.Request, dispa
 			continue
 		}
 		obs.Inc("serve.cluster.feedback_forwarded")
-		relay(w, status, ctype, respBody)
+		relay(w, status, hdr, respBody)
 		return true
 	}
 	return false
 }
 
 // post sends one proxy hop and returns the peer's raw response.
-// Transport failures classify as ErrPeerUnavailable (502).
-func (c *cluster) post(replica, path string, body []byte) (status int, ctype string, respBody []byte, err error) {
+// Transport failures classify as ErrPeerUnavailable (502). The
+// original client's identity travels in clientHeader so the owning
+// replica accounts rate limits to the client, not to this proxy.
+func (c *cluster) post(replica, path string, body []byte, client string) (status int, hdr http.Header, respBody []byte, err error) {
 	url, ok := c.urls[replica]
 	if !ok {
-		return 0, "", nil, fmt.Errorf("%w: no url for replica %q", ErrPeerUnavailable, replica)
+		return 0, nil, nil, fmt.Errorf("%w: no url for replica %q", ErrPeerUnavailable, replica)
 	}
 	req, err := http.NewRequest(http.MethodPost, url+path, bytes.NewReader(body))
 	if err != nil {
-		return 0, "", nil, fmt.Errorf("%w: %s: %v", ErrPeerUnavailable, replica, err)
+		return 0, nil, nil, fmt.Errorf("%w: %s: %v", ErrPeerUnavailable, replica, err)
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(forwardHeader, c.self)
+	if client != "" {
+		req.Header.Set(clientHeader, client)
+	}
 	resp, err := c.client.Do(req)
 	if err != nil {
-		return 0, "", nil, fmt.Errorf("%w: %s: %v", ErrPeerUnavailable, replica, err)
+		return 0, nil, nil, fmt.Errorf("%w: %s: %v", ErrPeerUnavailable, replica, err)
 	}
 	defer resp.Body.Close()
 	b, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerResponseBytes))
 	if err != nil {
-		return 0, "", nil, fmt.Errorf("%w: %s: reading response: %v", ErrPeerUnavailable, replica, err)
+		return 0, nil, nil, fmt.Errorf("%w: %s: reading response: %v", ErrPeerUnavailable, replica, err)
 	}
-	return resp.StatusCode, resp.Header.Get("Content-Type"), b, nil
+	return resp.StatusCode, resp.Header, b, nil
 }
 
-// relay writes a peer's response verbatim — status, content type and
-// body bytes unchanged, preserving byte identity across the hop.
-func relay(w http.ResponseWriter, status int, ctype string, body []byte) {
-	if ctype != "" {
-		w.Header().Set("Content-Type", ctype)
+// relayHeaders are the owner's response headers a proxy hop preserves:
+// the content type (body bytes relay verbatim) plus the admission
+// metadata — which ladder rung served the dispatch, and when to retry
+// a 429.
+var relayHeaders = [...]string{"Content-Type", rungHeader, "Retry-After"}
+
+// relay writes a peer's response verbatim — status, selected headers
+// and body bytes unchanged, preserving byte identity across the hop.
+func relay(w http.ResponseWriter, status int, hdr http.Header, body []byte) {
+	for _, name := range relayHeaders {
+		if v := hdr.Get(name); v != "" {
+			w.Header().Set(name, v)
+		}
 	}
 	w.WriteHeader(status)
 	w.Write(body)

@@ -27,6 +27,10 @@ import (
 //     replica that owns its model, and that replica could not be reached.
 //     The request itself is fine; retrying may succeed once the peer
 //     heals or the topology is rebuilt without it.
+//   - ErrOverCapacity: admission control rejected the request — the
+//     client is rate-limited or locked out, or the degradation ladder
+//     reached its reject step. Maps to 429 with a Retry-After header;
+//     retrying after the indicated delay may succeed.
 //   - Request timeouts (context.DeadlineExceeded/Canceled, wrapped or
 //     bare) map to 504 "timeout": the request was fine, the server ran
 //     out of budget.
@@ -36,6 +40,7 @@ var (
 	ErrOptimize         = errors.New("serve: optimization failed")
 	ErrNotFound         = errors.New("serve: not found")
 	ErrPeerUnavailable  = errors.New("serve: peer unavailable")
+	ErrOverCapacity     = errors.New("serve: over capacity")
 )
 
 // errCode is the machine-readable code clients switch on.
@@ -51,6 +56,8 @@ func errCode(err error) string {
 		return "not_found"
 	case errors.Is(err, ErrPeerUnavailable):
 		return "peer_unavailable"
+	case errors.Is(err, ErrOverCapacity):
+		return "over_capacity"
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return "timeout"
 	default:
@@ -71,6 +78,8 @@ func httpStatus(err error) int {
 		return http.StatusNotFound
 	case errors.Is(err, ErrPeerUnavailable):
 		return http.StatusBadGateway
+	case errors.Is(err, ErrOverCapacity):
+		return http.StatusTooManyRequests
 	case errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
 		return http.StatusGatewayTimeout
 	default:

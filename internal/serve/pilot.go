@@ -126,6 +126,14 @@ func (s *Server) handleFeedback(w http.ResponseWriter, req *http.Request) {
 		writeError(w, fmt.Errorf("%w: %s not allowed on /v1/feedback", ErrBadRequest, req.Method))
 		return
 	}
+	// Admission runs before the body is even read: a rate-limited
+	// report must leave no trace — in particular it can never advance
+	// the drift detector's CUSUM state (a property test pins this).
+	// Feedback is charged at the ingress replica only; a forwarded
+	// report was already admitted where the client sent it.
+	if !forwarded(req) && !s.admit(w, clientKey(req), "/v1/feedback") {
+		return
+	}
 	raw, err := io.ReadAll(http.MaxBytesReader(w, req.Body, maxRequestBytes))
 	if err != nil {
 		writeError(w, fmt.Errorf("%w: reading body: %v", ErrBadRequest, err))
@@ -135,6 +143,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, req *http.Request) {
 	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&report); err != nil {
+		s.noteFailure(req)
 		writeError(w, fmt.Errorf("%w: decoding body: %v", ErrBadRequest, err))
 		return
 	}
@@ -150,6 +159,7 @@ func (s *Server) handleFeedback(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	if err := report.Validate(rec.Phases); err != nil {
+		s.noteFailure(req)
 		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
 		return
 	}

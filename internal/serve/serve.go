@@ -34,6 +34,7 @@ import (
 	"sort"
 	"time"
 
+	"opprox/internal/admission"
 	"opprox/internal/approx"
 	"opprox/internal/core"
 	"opprox/internal/feedback"
@@ -41,6 +42,7 @@ import (
 	"opprox/internal/launch"
 	"opprox/internal/lifecycle"
 	"opprox/internal/obs"
+	"opprox/internal/qos"
 )
 
 // DefaultTimeout bounds one dispatch request end to end (model load,
@@ -85,6 +87,23 @@ type Options struct {
 	// the version starts serving. Applies across the whole lifecycle —
 	// first load, hot reload, shadow recalibration, promote, rollback.
 	FrontLibrary bool
+	// Admission configures ingress rate limiting (per-client and global
+	// token buckets, invalid-body lockout) on /v1/dispatch and
+	// /v1/feedback. Nil disables rate limiting entirely; the in-flight
+	// gate and degradation ladder run regardless.
+	Admission *admission.Options
+	// MaxInFlight caps concurrent dispatch computations (the abandoned-
+	// goroutine bound after timeouts, and the ladder's load gauge).
+	// 0: DefaultMaxInFlight; negative: uncapped (no gate).
+	MaxInFlight int
+	// Ladder tunes the degradation ladder's thresholds and dwell (zero
+	// value: qos defaults). Invalid thresholds panic in New — they are
+	// a programming error, not runtime input.
+	Ladder qos.LadderOptions
+	// CoarseQuantum is the budget grid of ladder step 1 (0:
+	// DefaultCoarseQuantum; negative: no quantization — step 1 computes
+	// misses at their exact budget).
+	CoarseQuantum float64
 }
 
 // Server answers dispatch requests against a model registry. Create with
@@ -106,6 +125,16 @@ type Server struct {
 	// batched Optimize pass. Both are transparent — see DESIGN.md §12.
 	plans *planCache
 	batch *flight.Batcher[planWork, []byte]
+
+	// Admission control: the rate limiter (nil when disabled), the
+	// in-flight computation gate (nil when uncapped), the degradation
+	// ladder, and the recent-timeout window feeding its pressure
+	// signal. See admission.go and DESIGN.md §15.
+	limiter       *admission.Limiter
+	gate          *admission.Gate
+	ladder        *qos.Ladder
+	timeouts      *qos.RateWindow
+	coarseQuantum float64
 
 	// cluster is non-nil when this server is one replica of a sharded
 	// fleet (ConfigureCluster); nil serves standalone.
@@ -140,14 +169,34 @@ func New(opts Options) *Server {
 	if p, ok := opts.Store.(lifecycle.Publisher); ok {
 		pub = p
 	}
+	ladder, err := qos.NewLadder(opts.Ladder)
+	if err != nil {
+		panic(err) // misconfigured thresholds are a programming error
+	}
 	s := &Server{
-		reg:       reg,
-		timeout:   opts.Timeout,
-		records:   feedback.NewRecords(opts.RecordCap),
-		detector:  feedback.NewDetector(opts.Drift),
-		flog:      opts.FeedbackLog,
-		autoRecal: !opts.DisableAutoRecalibrate,
-		plans:     newPlanCache(opts.PlanCacheCap),
+		reg:           reg,
+		timeout:       opts.Timeout,
+		records:       feedback.NewRecords(opts.RecordCap),
+		detector:      feedback.NewDetector(opts.Drift),
+		flog:          opts.FeedbackLog,
+		autoRecal:     !opts.DisableAutoRecalibrate,
+		plans:         newPlanCache(opts.PlanCacheCap),
+		ladder:        ladder,
+		timeouts:      qos.NewRateWindow(0, 0),
+		coarseQuantum: opts.CoarseQuantum,
+	}
+	if s.coarseQuantum == 0 {
+		s.coarseQuantum = DefaultCoarseQuantum
+	}
+	if opts.MaxInFlight >= 0 {
+		n := opts.MaxInFlight
+		if n == 0 {
+			n = DefaultMaxInFlight
+		}
+		s.gate = admission.NewGate(n)
+	}
+	if opts.Admission != nil {
+		s.limiter = admission.NewLimiter(*opts.Admission)
 	}
 	s.batch = flight.NewBatcher(s.runPlanBatch)
 	// Every live-version swap (promote/rollback/reload) drops the old
@@ -194,6 +243,7 @@ func (s *Server) Lifecycle() *lifecycle.Manager { return s.mgr }
 //	POST /v1/rollback  restore a model's previous live version
 //	POST /v1/reload    hot-reload cached models, last-good on failure
 //	GET  /v1/cluster   shard topology: replicas + model ownership
+//	GET  /v1/admission admission/ladder state (POST {"force_step": N} pins it)
 //	GET  /healthz      liveness + cached-model count
 //	GET  /metricsz     obs.Default JSON snapshot
 func (s *Server) Handler() http.Handler {
@@ -205,6 +255,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/rollback", s.handleRollback)
 	mux.HandleFunc("/v1/reload", s.handleReload)
 	mux.HandleFunc("/v1/cluster", s.handleCluster)
+	mux.HandleFunc("/v1/admission", s.handleAdmission)
 	mux.HandleFunc("/healthz", s.handleHealth)
 	mux.HandleFunc("/metricsz", s.handleMetrics)
 	return mux
@@ -306,6 +357,13 @@ func (s *Server) handleDispatch(w http.ResponseWriter, req *http.Request) {
 		writeError(w, fmt.Errorf("%w: %s not allowed on /v1/dispatch", ErrBadRequest, req.Method))
 		return
 	}
+	// Locked-out clients are rejected at the ingress replica, before
+	// any body work or proxy hop; the lockout check charges no tokens,
+	// so it cannot double-count with the owner's Allow below.
+	client := clientKey(req)
+	if !forwarded(req) && s.rejectLockedOut(w, client) {
+		return
+	}
 	// The raw body is retained so a sharded proxy hop forwards it
 	// verbatim — re-marshaling could reorder fields and break the
 	// byte-identity contract across replicas.
@@ -318,21 +376,35 @@ func (s *Server) handleDispatch(w http.ResponseWriter, req *http.Request) {
 	dec := json.NewDecoder(bytes.NewReader(raw))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&dreq); err != nil {
+		s.noteFailure(req)
 		writeError(w, fmt.Errorf("%w: decoding body: %v", ErrBadRequest, err))
 		return
 	}
 	if err := dreq.Validate(); err != nil {
+		s.noteFailure(req)
 		writeError(w, fmt.Errorf("%w: %v", ErrBadRequest, err))
 		return
 	}
 	if s.proxyToOwner(w, req, dreq.ModelPath, "/v1/dispatch", raw) {
 		return
 	}
+	// Rate limits are charged here, at the replica that owns the model
+	// (the ingress forwards the client identity in clientHeader), so a
+	// proxied request is counted exactly once.
+	if !s.admit(w, client, "/v1/dispatch") {
+		return
+	}
 
 	ctx, cancel := context.WithTimeout(req.Context(), s.timeout)
 	defer cancel()
-	body, degraded, err := s.dispatch(ctx, &dreq)
+	body, degraded, rung, err := s.dispatch(ctx, &dreq)
+	if rung != "" {
+		w.Header().Set(rungHeader, rung)
+	}
 	if err != nil {
+		if errors.Is(err, ErrOverCapacity) {
+			setRetryAfter(w, rejectRetryAfter)
+		}
 		writeError(w, err)
 		return
 	}
@@ -342,34 +414,120 @@ func (s *Server) handleDispatch(w http.ResponseWriter, req *http.Request) {
 	writeBody(w, http.StatusOK, body)
 }
 
-// dispatch runs one request under its context: the optimizer is not
-// context-aware, so the work runs in a goroutine and the request gives
-// up (504) when the deadline fires first. The goroutine finishes its
-// (bounded) optimization and parks its result in the buffered channel.
-func (s *Server) dispatch(ctx context.Context, dreq *DispatchRequest) (body []byte, degraded bool, err error) {
+// dispatch serves one request at the degradation ladder's current step
+// (admission.go has the rung taxonomy; DESIGN.md §15 the invariants).
+// Plan-cache hits are served at every step — they are the cheapest
+// possible answer and already byte-identical to fresh computation
+// (D10) — so degradation only changes what happens on a miss.
+func (s *Server) dispatch(ctx context.Context, dreq *DispatchRequest) (body []byte, degraded bool, rung string, err error) {
+	step := s.ladderStep()
+	if step == 0 {
+		body, degraded, err = s.computeDispatch(ctx, dreq)
+		return body, degraded, rungFull, err
+	}
+
+	obs.Inc("serve.ladder.degraded")
+	if body := s.cachedBody(dreq); body != nil {
+		obs.Inc("serve.ladder.rung.cached")
+		return body, false, rungCached, nil
+	}
+	// Coarse fallback: the same request with its budget quantized down
+	// onto the coarse grid. The coarse body is exactly the full body of
+	// the quantized request — deterministic (D13) and shared across
+	// every budget in the same quantum, which is what sheds load.
+	coarse := *dreq
+	coarse.Budget = quantizeBudget(dreq.Budget, s.coarseQuantum)
+	if coarse.Budget != dreq.Budget {
+		if body := s.cachedBody(&coarse); body != nil {
+			obs.Inc("serve.ladder.rung.coarse")
+			return body, false, rungCoarse, nil
+		}
+	}
+	switch step {
+	case 1:
+		obs.Inc("serve.ladder.rung.coarse")
+		body, degraded, err = s.computeDispatch(ctx, &coarse)
+		return body, degraded, rungCoarse, err
+	case 2:
+		obs.Inc("serve.ladder.rung.exact")
+		body, err = overloadBody(dreq)
+		return body, err == nil, rungExact, err
+	default:
+		obs.Inc("serve.ladder.rung.reject")
+		return nil, false, rungReject,
+			fmt.Errorf("%w: degradation ladder step %d sheds uncached dispatches", ErrOverCapacity, step)
+	}
+}
+
+// cachedBody returns the cached response bytes for dreq against the
+// current live version (re-arming the feedback loop exactly like the
+// dispatchBody fast path), or nil on a miss.
+func (s *Server) cachedBody(dreq *DispatchRequest) []byte {
+	ver, ok := s.mgr.LiveVersion(dreq.ModelPath)
+	if !ok {
+		return nil
+	}
+	kb := planKeyPool.Get().(*planKey)
+	appendPlanKey(kb, dreq, ver)
+	e := s.plans.get(kb.buf)
+	kb.release()
+	if e == nil {
+		return nil
+	}
+	s.records.Put(e.rec)
+	s.evalShadow(dreq, e.rec.Levels)
+	return e.body
+}
+
+// computeDispatch runs dispatchBody under the in-flight gate and the
+// request's context: the optimizer is not context-aware, so the work
+// runs in a goroutine and the request gives up (504) when the deadline
+// fires first. The gate slot is taken *before* the goroutine is
+// spawned and released by the goroutine itself, so a burst of
+// timed-out requests abandons at most Cap running computations — the
+// rest fail their Acquire and never start (the goroutine-leak fix).
+// Timed-out and completed requests feed the timeout window the ladder
+// reads as pressure.
+func (s *Server) computeDispatch(ctx context.Context, dreq *DispatchRequest) ([]byte, bool, error) {
 	type result struct {
 		body     []byte
 		degraded bool
 		err      error
 	}
+	if s.gate != nil {
+		if err := s.gate.Acquire(ctx); err != nil {
+			obs.Inc("serve.dispatch.queue_timeout")
+			obs.Inc("serve.dispatch.timeout")
+			s.timeouts.Observe(true)
+			return nil, false, err
+		}
+	}
 	ch := make(chan result, 1)
 	go func() {
+		if s.gate != nil {
+			defer s.gate.Release()
+		}
 		body, degraded, err := s.dispatchBody(ctx, dreq)
 		ch <- result{body, degraded, err}
 	}()
 	select {
 	case r := <-ch:
+		s.timeouts.Observe(false)
 		return r.body, r.degraded, r.err
 	case <-ctx.Done():
 		obs.Inc("serve.dispatch.timeout")
+		s.timeouts.Observe(true)
 		return nil, false, ctx.Err()
 	}
 }
 
 // planWork is one queued dispatch computation: the request plus the
 // live model pinned at resolution time, so every member of a batch is
-// computed against exactly the version its cache key names.
+// computed against exactly the version its cache key names. ctx is the
+// submitting request's context — the batch pass sheds items whose
+// caller already gave up instead of optimizing for nobody.
 type planWork struct {
+	ctx  context.Context
 	dreq *DispatchRequest
 	tr   *core.Trained
 	ver  string
@@ -385,21 +543,13 @@ type planWork struct {
 // collapse onto one slot, concurrent distinct dispatches run as one
 // batched pass — and the result lands in the plan cache.
 func (s *Server) dispatchBody(ctx context.Context, dreq *DispatchRequest) (body []byte, degraded bool, err error) {
-	kb := planKeyPool.Get().(*planKey)
-	if ver, ok := s.mgr.LiveVersion(dreq.ModelPath); ok {
-		appendPlanKey(kb, dreq, ver)
-		if e := s.plans.get(kb.buf); e != nil {
-			// Re-arm the feedback loop: the record may have been evicted
-			// from the FIFO store since the plan was cached (Put ignores
-			// IDs already present), and a dark-launched shadow still sees
-			// every dispatch, cached or not.
-			s.records.Put(e.rec)
-			s.evalShadow(dreq, e.rec.Levels)
-			kb.release()
-			return e.body, false, nil
-		}
+	// Re-arming the feedback loop on a hit (records.Put, evalShadow)
+	// happens inside cachedBody: the record may have been evicted from
+	// the FIFO store since the plan was cached, and a dark-launched
+	// shadow still sees every dispatch, cached or not.
+	if body := s.cachedBody(dreq); body != nil {
+		return body, false, nil
 	}
-	kb.release()
 
 	tr, ver, err := s.liveModel(ctx, dreq.ModelPath)
 	if err != nil {
@@ -433,12 +583,21 @@ func (s *Server) dispatchBody(ctx context.Context, dreq *DispatchRequest) (body 
 	// never mix versions within one response. Forget after Do keeps the
 	// batcher bounded (the plan cache is the durable layer) and makes
 	// errors retryable.
-	kb = planKeyPool.Get().(*planKey)
+	kb := planKeyPool.Get().(*planKey)
 	appendPlanKey(kb, dreq, ver)
 	key := string(kb.buf)
 	kb.release()
-	body, err, _ = s.batch.Do(key, planWork{dreq: dreq, tr: tr, ver: ver})
+	wk := planWork{ctx: ctx, dreq: dreq, tr: tr, ver: ver}
+	body, err, _ = s.batch.Do(key, wk)
 	s.batch.Forget(key)
+	if err != nil && flight.TransientContextError(err) && ctx.Err() == nil {
+		// A coalesced flight was shed on *another* caller's expired
+		// deadline; ours is alive, so retry as a fresh flight (the
+		// batcher did not cache the transient error).
+		obs.Inc("serve.batch.shed_retry")
+		body, err, _ = s.batch.Do(key, wk)
+		s.batch.Forget(key)
+	}
 	if err != nil {
 		return nil, false, err
 	}
@@ -465,6 +624,16 @@ func (s *Server) runPlanBatch(keys []string, works []planWork) ([][]byte, []erro
 // serializes the response, and installs the bytes in the plan cache.
 func (s *Server) computePlan(key string, wk planWork) ([]byte, error) {
 	dreq, tr, ver := wk.dreq, wk.tr, wk.ver
+	if wk.ctx != nil {
+		if err := wk.ctx.Err(); err != nil {
+			// The submitting request already timed out or hung up:
+			// shed the work instead of optimizing for nobody. The
+			// context error is transient to the batcher, so a later
+			// identical dispatch recomputes instead of inheriting it.
+			obs.Inc("serve.batch.shed")
+			return nil, err
+		}
+	}
 	plan, err := launch.DispatchTrained(&dreq.JobConfig, tr)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrOptimize, err)

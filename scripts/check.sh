@@ -54,7 +54,7 @@ sh scripts/shard-smoke.sh
 # shared CI machines are noisy.
 if [ "${BENCH:-0}" = "1" ]; then
     echo "== bench regression (>20% ns/op fails) =="
-    go run ./cmd/opprox-bench -against "BENCH_${PR:-8}.json" -max 0.20
+    go run ./cmd/opprox-bench -against "BENCH_${PR:-9}.json" -max 0.20
 fi
 
 echo "check: all green"

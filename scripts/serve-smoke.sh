@@ -13,9 +13,11 @@ cd "$(dirname "$0")/.."
 tmp=$(mktemp -d)
 pid=""
 pid2=""
+pid3=""
 cleanup() {
     if [ -n "$pid" ]; then kill "$pid" 2>/dev/null || true; fi
     if [ -n "$pid2" ]; then kill "$pid2" 2>/dev/null || true; fi
+    if [ -n "$pid3" ]; then kill "$pid3" 2>/dev/null || true; fi
     rm -rf "$tmp"
 }
 trap cleanup EXIT INT TERM
@@ -185,4 +187,125 @@ if ! wait "$pid"; then
 fi
 pid=""
 
-echo "serve-smoke: ok (dispatch, degraded dispatch, drift -> shadow -> promote -> rollback, clean shutdown)"
+# --- overload drill: admission control + the degradation ladder ---
+# A third server with a tiny per-client budget and a lockout. The drill
+# first bursts past the token bucket (429 + Retry-After), then walks the
+# degradation ladder deterministically via POST /v1/admission and checks
+# each rung's body is byte-deterministic: cached plans keep serving,
+# a coarse body equals the plain body at the quantized budget, the
+# step-2 fallback is the constant all-accurate schedule, and step 3
+# sheds uncached dispatches with 429 before any rate-limit rejection.
+"$tmp/opprox-serve" -addr 127.0.0.1:0 -models "$tmp/models" \
+    -client-rate 0.001 -client-burst 25 \
+    -failure-limit 3 -lockout 60s \
+    2>"$tmp/serve3.log" &
+pid3=$!
+addr3=""
+i=0
+while [ $i -lt 100 ]; do
+    addr3=$(sed -n 's|.*listening on http://\([^ ]*\).*|\1|p' "$tmp/serve3.log")
+    if [ -n "$addr3" ]; then break; fi
+    if ! kill -0 "$pid3" 2>/dev/null; then
+        echo "serve-smoke: overload server died during startup:" >&2
+        cat "$tmp/serve3.log" >&2
+        exit 1
+    fi
+    i=$((i + 1))
+    sleep 0.1
+done
+[ -n "$addr3" ] || {
+    echo "serve-smoke: overload server never reported its address" >&2; exit 1; }
+
+# Not -sf: the drill reads 4xx statuses and headers.
+post3() { # path body [extra curl args...]
+    path=$1; data=$2; shift 2
+    curl -s -D "$tmp/headers" -X POST -H 'Content-Type: application/json' \
+        "$@" -d "$data" "http://$addr3$path"
+}
+status_of() { sed -n '1s/.* \([0-9][0-9][0-9]\).*/\1/p' "$tmp/headers"; }
+rung_of() { tr -d '\r' <"$tmp/headers" | sed -n 's/^[Xx]-[Oo]pprox-[Rr]ung: //p'; }
+
+# Walk the ladder first, while the client still has tokens.
+body10='{"app": "pso", "budget": 10, "model_path": "pso.json"}'
+body12='{"app": "pso", "budget": 12, "model_path": "pso.json"}'
+body40='{"app": "pso", "budget": 40, "model_path": "pso.json"}'
+
+plan10=$(post3 /v1/dispatch "$body10")
+[ "$(rung_of)" = "full" ] || {
+    echo "serve-smoke: healthy dispatch rung $(rung_of), want full" >&2; exit 1; }
+
+post3 /v1/admission '{"force_step": 1}' >/dev/null
+resp=$(post3 /v1/dispatch "$body12")
+[ "$(rung_of)" = "coarse" ] || {
+    echo "serve-smoke: step-1 dispatch rung $(rung_of), want coarse" >&2; exit 1; }
+[ "$resp" = "$plan10" ] || {
+    echo "serve-smoke: coarse body differs from the quantized budget's plan" >&2
+    echo "$resp" >&2; echo "$plan10" >&2; exit 1; }
+
+post3 /v1/admission '{"force_step": 2}' >/dev/null
+exact1=$(post3 /v1/dispatch "$body40")
+[ "$(rung_of)" = "exact" ] || {
+    echo "serve-smoke: step-2 dispatch rung $(rung_of), want exact" >&2; exit 1; }
+echo "$exact1" | grep -q '"degraded":true' || {
+    echo "serve-smoke: step-2 fallback not marked degraded: $exact1" >&2; exit 1; }
+exact2=$(post3 /v1/dispatch "$body40")
+[ "$exact1" = "$exact2" ] || {
+    echo "serve-smoke: step-2 fallback not byte-deterministic" >&2; exit 1; }
+resp=$(post3 /v1/dispatch "$body10")
+[ "$(rung_of)" = "cached" ] && [ "$resp" = "$plan10" ] || {
+    echo "serve-smoke: step-2 cache hit rung $(rung_of), body drifted" >&2; exit 1; }
+
+post3 /v1/admission '{"force_step": 3}' >/dev/null
+resp=$(post3 /v1/dispatch "$body40")
+[ "$(status_of)" = "429" ] || {
+    echo "serve-smoke: step-3 dispatch status $(status_of), want 429: $resp" >&2; exit 1; }
+grep -qi '^retry-after:' "$tmp/headers" || {
+    echo "serve-smoke: step-3 429 carries no Retry-After" >&2; exit 1; }
+resp=$(post3 /v1/dispatch "$body10")
+[ "$(status_of)" = "200" ] && [ "$resp" = "$plan10" ] || {
+    echo "serve-smoke: cached plans must keep serving at step 3" >&2; exit 1; }
+
+post3 /v1/admission '{"force_step": -1}' >/dev/null
+
+# Burst past the per-client token bucket: degraded-but-served responses
+# (the rungs above) come before flat rejection; once the bucket is dry
+# every request is 429 + Retry-After.
+got429=""
+i=0
+while [ $i -lt 40 ]; do
+    post3 /v1/dispatch "$body10" >/dev/null
+    if [ "$(status_of)" = "429" ]; then got429=yes; break; fi
+    [ "$(status_of)" = "200" ] || {
+        echo "serve-smoke: burst dispatch status $(status_of)" >&2; exit 1; }
+    i=$((i + 1))
+done
+[ -n "$got429" ] || {
+    echo "serve-smoke: burst never hit the rate limit" >&2; exit 1; }
+grep -qi '^retry-after:' "$tmp/headers" || {
+    echo "serve-smoke: rate-limit 429 carries no Retry-After" >&2; exit 1; }
+
+# A different client identity still has its own budget.
+resp=$(post3 /v1/dispatch "$body10" -H 'X-Opprox-Client: other')
+[ "$(status_of)" = "200" ] || {
+    echo "serve-smoke: fresh client rejected after another's burst: $resp" >&2; exit 1; }
+
+# Invalid bodies lock a client out entirely.
+i=0
+while [ $i -lt 3 ]; do
+    post3 /v1/dispatch '{broken' -H 'X-Opprox-Client: mallory' >/dev/null
+    i=$((i + 1))
+done
+resp=$(post3 /v1/dispatch "$body10" -H 'X-Opprox-Client: mallory')
+[ "$(status_of)" = "429" ] && echo "$resp" | grep -q 'locked_out' || {
+    echo "serve-smoke: invalid-body client not locked out: $(status_of) $resp" >&2; exit 1; }
+
+kill -TERM "$pid3"
+if ! wait "$pid3"; then
+    echo "serve-smoke: overload server exited non-zero on SIGTERM" >&2
+    cat "$tmp/serve3.log" >&2
+    exit 1
+fi
+pid3=""
+echo "serve-smoke: overload drill ok (ladder rungs deterministic, 429 + Retry-After, lockout)"
+
+echo "serve-smoke: ok (dispatch, degraded dispatch, drift -> shadow -> promote -> rollback, overload drill, clean shutdown)"
