@@ -53,6 +53,7 @@ var defaultPackages = []string{
 	"./internal/serve",
 	"./internal/shard",
 	"./internal/admission",
+	"./internal/retrain",
 }
 
 // Result is one benchmark measurement.

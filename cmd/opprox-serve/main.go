@@ -14,6 +14,7 @@
 //	GET  /v1/models    lifecycle view: versions, drift health, shadows
 //	POST /v1/promote   {"model": "pso.json"}
 //	POST /v1/rollback  {"model": "pso.json"}
+//	POST /v1/retrain   {"model": "pso.json"}  (requires -retrain and -feedback-log)
 //	POST /v1/reload    {"model": "pso.json"}  (empty body reloads all)
 //	GET  /v1/cluster   shard topology: replicas + model ownership
 //	GET  /v1/admission admission/ladder state; POST {"force_step": N} pins it
@@ -34,7 +35,18 @@
 // a shadow version served in dark-launch mode and auto-promotes it when
 // its realized error beats the live version's. Shadow and promoted
 // versions are persisted into -models atomically; -feedback-log appends
-// every accepted observation as JSONL.
+// every accepted observation as JSONL (rotated into numbered segments
+// when -feedback-log-max-bytes is set).
+//
+// Online retraining (-retrain): the telemetry log is replayed into
+// training matrices, phase boundaries are re-detected from realized
+// behavior, and candidate models (recalibrate / refit / pooled refit)
+// are fit and judged on a held-out telemetry suffix; the winner is
+// dark-launched as a shadow through the same promote/rollback
+// machinery. Triggered by POST /v1/retrain or automatically when a
+// model goes stale. -proactive adds the Capri-style controller: between
+// retrains, observed degradation residuals tighten the served budget
+// open-loop (see X-Opprox-Correction on corrected responses).
 //
 // Serving at scale: repeat dispatches are answered from a bounded
 // dispatch-plan cache (-plan-cache) and concurrent cold dispatches are
@@ -74,6 +86,7 @@ import (
 	"opprox/internal/lifecycle"
 	"opprox/internal/obs"
 	"opprox/internal/qos"
+	"opprox/internal/retrain"
 	"opprox/internal/serve"
 )
 
@@ -105,6 +118,7 @@ func main() {
 	retryBase := flag.Duration("retry-base", 25*time.Millisecond, "first retry backoff (doubles per attempt)")
 	metrics := flag.String("metrics", "", "write a JSON metrics snapshot to this file on shutdown")
 	feedbackLog := flag.String("feedback-log", "", "append accepted feedback observations to this JSONL file (fsync per entry)")
+	feedbackLogMaxBytes := flag.Int64("feedback-log-max-bytes", 0, "rotate the feedback log into numbered segments past this size (0: never)")
 	driftWindow := flag.Int("drift-window", 0, "per-phase feedback window for drift detection (0: default)")
 	driftMinSamples := flag.Int("drift-min-samples", 0, "samples required before exceedance drift can fire (0: default)")
 	driftExceed := flag.Float64("drift-exceed", 0, "band-exceedance fraction that flags drift (0: default)")
@@ -131,16 +145,30 @@ func main() {
 	coarseQuantum := flag.Float64("coarse-quantum", 0, "budget grid of degradation-ladder step 1 (0: default, negative: no quantization)")
 	ladderDwell := flag.Int("ladder-dwell", 0, "consecutive calm pressure updates before the ladder steps down (0: default)")
 	forceLadderStep := flag.Int("force-ladder-step", -1, "pin the degradation ladder to a step at startup (-1: load-controlled)")
+	retrainOn := flag.Bool("retrain", false, "enable online retraining from the feedback log (requires -feedback-log)")
+	retrainMinSamples := flag.Int("retrain-min-samples", 0, "telemetry rows a retrain needs before it runs (0: default)")
+	retrainMaxRows := flag.Int("retrain-max-rows", 0, "most recent telemetry rows a retrain extracts (0: default)")
+	redetectThreshold := flag.Float64("phase-redetect-threshold", 0, "phase re-detection divergence threshold on the log scales (0: default)")
+	retrainSeed := flag.Int64("retrain-seed", 0, "seed for retrain CV fold shuffles (0: default)")
+	proactive := flag.Bool("proactive", false, "enable the proactive controller: correct served budgets from observed degradation residuals")
+	correctionQuantum := flag.Float64("correction-quantum", 0, "grid the proactive budget correction is quantized onto (0: default)")
+	correctionMax := flag.Float64("correction-max", 0, "clamp on the proactive budget correction, log1p scale (0: default)")
 	flag.Parse()
 
 	var flog *feedback.Log
 	if *feedbackLog != "" {
 		var err error
-		flog, err = feedback.OpenLog(*feedbackLog, true)
+		flog, err = feedback.OpenLogOptions(*feedbackLog, feedback.LogOptions{
+			Sync:     true,
+			MaxBytes: *feedbackLogMaxBytes,
+		})
 		if err != nil {
 			log.Fatal(err)
 		}
 		defer flog.Close()
+	}
+	if *retrainOn && flog == nil {
+		log.Fatal("-retrain requires -feedback-log (the pipeline replays it)")
 	}
 
 	// Rate limiting is opt-in: the limiter exists only when at least
@@ -188,6 +216,16 @@ func main() {
 		MaxInFlight:            *maxInFlight,
 		Ladder:                 qos.LadderOptions{Dwell: *ladderDwell},
 		CoarseQuantum:          *coarseQuantum,
+		Retrain:                *retrainOn,
+		RetrainOpts: retrain.Options{
+			MinSamples:        *retrainMinSamples,
+			MaxRows:           *retrainMaxRows,
+			RedetectThreshold: *redetectThreshold,
+			Seed:              *retrainSeed,
+		},
+		Proactive:         *proactive,
+		CorrectionQuantum: *correctionQuantum,
+		CorrectionMax:     *correctionMax,
 	})
 	if *forceLadderStep >= 0 {
 		if err := srv.ForceLadderStep(*forceLadderStep); err != nil {

@@ -56,8 +56,13 @@ type classFronts struct {
 }
 
 // planLibrary is the tier-1 artifact: per-class, per-phase survivor sets.
+// calSpd/calDeg record the per-phase calibration shifts the fronts were
+// pruned under (zeros when uncalibrated), so a later recalibration can
+// re-prune only the phases whose shifts actually moved.
 type planLibrary struct {
 	classes map[string]*classFronts
+	calSpd  []float64
+	calDeg  []float64
 }
 
 // EnableFrontLibrary switches Optimize onto the Pareto-front plan
@@ -102,9 +107,97 @@ func (t *Trained) BuildFrontLibrary() error {
 		}
 		lib.classes[sig] = cf
 	}
+	lib.calSpd, lib.calDeg = t.calibVectors()
 	t.library = lib
 	t.frontOn = true
 	obs.Inc("core.library.builds")
+	return nil
+}
+
+// calibVectors returns the current per-phase calibration shifts as
+// length-Phases slices (all zeros when the models are uncalibrated) —
+// the representation the library uses to detect shift changes.
+func (t *Trained) calibVectors() (spd, deg []float64) {
+	spd = make([]float64, t.Phases)
+	deg = make([]float64, t.Phases)
+	if t.calib != nil {
+		copy(spd, t.calib.spd)
+		copy(deg, t.calib.deg)
+	}
+	return spd, deg
+}
+
+// RefreshFrontLibrary incrementally updates the plan library after a
+// calibration change: only phases whose shifts differ from the ones the
+// fronts were pruned under are re-pruned (calibration enters pruning
+// through predictConfigsBatch, so an unchanged shift leaves a phase's
+// predictions — and therefore its survivor set — bit-for-bit identical
+// to a full rebuild's). Returns the re-pruned phase indices; a no-op
+// when no library is built or nothing shifted. Callers that change a
+// phase's models themselves (RetrainGlobal) rebuild those phases
+// directly instead.
+func (t *Trained) RefreshFrontLibrary() ([]int, error) {
+	if t.library == nil {
+		return nil, nil
+	}
+	curSpd, curDeg := t.calibVectors()
+	var changed []int
+	for ph := 0; ph < t.Phases; ph++ {
+		oldS, oldD := 0.0, 0.0
+		if ph < len(t.library.calSpd) {
+			oldS, oldD = t.library.calSpd[ph], t.library.calDeg[ph]
+		}
+		if curSpd[ph] != oldS || curDeg[ph] != oldD {
+			changed = append(changed, ph)
+		}
+	}
+	if len(changed) == 0 {
+		return nil, nil
+	}
+	if err := t.rebuildFrontPhases(changed); err != nil {
+		return nil, err
+	}
+	return changed, nil
+}
+
+// rebuildFrontPhases re-runs dominance pruning for the given phases in
+// every class and records the calibration the new fronts were pruned
+// under. The untouched phases keep their survivor sets.
+func (t *Trained) rebuildFrontPhases(phases []int) error {
+	stop := obs.Timer("core.library.refresh_duration")
+	defer stop()
+	space := enumerateSpace(t.Blocks)
+	pvs := t.libraryParamVecs()
+	if len(pvs) == 0 {
+		return fmt.Errorf("core: no parameter vectors to anchor the front library")
+	}
+	for _, sig := range t.classSigs() {
+		cf := t.library.classes[sig]
+		if cf == nil {
+			return fmt.Errorf("core: front library is missing class %q", sig)
+		}
+		cm := t.Classes[sig]
+		for _, ph := range phases {
+			if ph < 0 || ph >= len(cf.phase) {
+				return fmt.Errorf("core: front refresh phase %d out of range", ph)
+			}
+			pf, err := t.prunePhase(cm.Phase[ph], space, pvs)
+			if err != nil {
+				return fmt.Errorf("core: front refresh class %q phase %d: %w", sig, ph, err)
+			}
+			cf.phase[ph] = pf
+		}
+	}
+	curSpd, curDeg := t.calibVectors()
+	if len(t.library.calSpd) != t.Phases {
+		t.library.calSpd = make([]float64, t.Phases)
+		t.library.calDeg = make([]float64, t.Phases)
+	}
+	for _, ph := range phases {
+		t.library.calSpd[ph] = curSpd[ph]
+		t.library.calDeg[ph] = curDeg[ph]
+	}
+	obs.Inc("core.library.refreshes")
 	return nil
 }
 

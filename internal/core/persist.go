@@ -368,6 +368,12 @@ func (t *Trained) importLibrary(ld *libraryDTO) error {
 			return fmt.Errorf("library is missing class %q", sig)
 		}
 	}
+	// The persisted survivor sets were pruned under the calibration
+	// persisted in the same file (Save runs them through the same
+	// predictConfigsBatch), which LoadTrained installed before calling
+	// here — record it so a later recalibration re-prunes only phases
+	// whose shifts move.
+	lib.calSpd, lib.calDeg = t.calibVectors()
 	t.library = lib
 	t.frontOn = true
 	return nil

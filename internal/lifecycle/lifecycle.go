@@ -113,6 +113,10 @@ var (
 	ErrNoPrevious = errors.New("lifecycle: no previous version")
 	// ErrUnknownModel: the named model was never resolved by this manager.
 	ErrUnknownModel = errors.New("lifecycle: unknown model")
+	// ErrIdenticalToLive: a dark-launch candidate hashes to the version
+	// already live — nothing to evaluate. Raced retrains hit this when a
+	// promote lands between candidate selection and the dark-launch.
+	ErrIdenticalToLive = errors.New("lifecycle: candidate is identical to live")
 )
 
 // errWindow is a fixed ring of realized-error samples reduced in index
@@ -333,6 +337,13 @@ func (m *Manager) CreateShadow(name string, addSpd, addDeg []float64) (string, e
 	if err := clone.SetCalibration(spd, deg); err != nil {
 		return "", fmt.Errorf("lifecycle: recalibrating shadow: %w", err)
 	}
+	// The plan library (when OnLoad built one) was pruned under the OLD
+	// calibration; re-prune the shifted phases so the persisted shadow's
+	// survivor sets match its own calibration — incremental, only the
+	// phases the correction moved.
+	if _, err := clone.RefreshFrontLibrary(); err != nil {
+		return "", fmt.Errorf("lifecycle: refreshing shadow plan library: %w", err)
+	}
 	var out bytes.Buffer
 	if err := clone.Save(&out); err != nil {
 		return "", fmt.Errorf("lifecycle: serializing shadow: %w", err)
@@ -352,6 +363,61 @@ func (m *Manager) CreateShadow(name string, addSpd, addDeg []float64) (string, e
 	obs.Inc("lifecycle.shadow.created")
 	obs.LogEvent("lifecycle.shadow", "%s: shadow %s dark-launched next to live %s", name, ver, st.liveVersion)
 	return ver, nil
+}
+
+// CreateShadowFromBytes dark-launches a fully built candidate model —
+// the retrain pipeline's entry point: the caller (a retrain driver)
+// hands over the serialized model and the manager validates, persists
+// and installs it as the shadow. Unlike CreateShadow, an existing
+// shadow is REPLACED (a retrained candidate supersedes a recalibrated
+// one — it was fitted on strictly more information), except when the
+// bytes hash to the version already shadowing, which keeps the
+// in-flight evaluation windows. Candidates identical to the live
+// version are rejected.
+func (m *Manager) CreateShadowFromBytes(name string, raw []byte) (string, error) {
+	st, ok := m.peek(name)
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrUnknownModel, name)
+	}
+	tr, err := core.LoadTrained(bytes.NewReader(raw))
+	if err != nil {
+		return "", fmt.Errorf("lifecycle: candidate model: %w", err)
+	}
+	if err := m.afterLoad(tr); err != nil {
+		return "", fmt.Errorf("lifecycle: candidate model: %w", err)
+	}
+	ver := Version(raw)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if ver == st.liveVersion {
+		return "", fmt.Errorf("%w: %s for %s", ErrIdenticalToLive, ver, name)
+	}
+	if st.shadow != nil && st.shadow.version == ver {
+		return ver, nil
+	}
+	if m.pub != nil {
+		if err := m.pub.Put(VersionedName(name, ver), raw); err != nil {
+			return "", fmt.Errorf("lifecycle: persisting shadow: %w", err)
+		}
+	}
+	st.shadow = &shadowState{version: ver, tr: tr, raw: append([]byte(nil), raw...)}
+	obs.Inc("lifecycle.shadow.created")
+	obs.LogEvent("lifecycle.shadow", "%s: retrained shadow %s dark-launched next to live %s", name, ver, st.liveVersion)
+	return ver, nil
+}
+
+// LiveRaw returns the live version's serialized bytes and version for an
+// already-resolved model — the retrain driver's starting point (it
+// clones the live model from its deterministic serialized form, never
+// from shared in-memory state).
+func (m *Manager) LiveRaw(name string) ([]byte, string, bool) {
+	st, ok := m.peek(name)
+	if !ok {
+		return nil, "", false
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.liveRaw, st.liveVersion, true
 }
 
 // Feedback folds one feedback report's realized values into the

@@ -116,6 +116,9 @@ type feedbackResponse struct {
 	// Promoted reports that this feedback completed the evidence for an
 	// automatic shadow promotion.
 	Promoted bool `json:"promoted,omitempty"`
+	// RetrainStarted reports that this feedback flipped the model to
+	// stale and a background retrain was kicked off.
+	RetrainStarted bool `json:"retrain_started,omitempty"`
 }
 
 func (s *Server) handleFeedback(w http.ResponseWriter, req *http.Request) {
@@ -181,7 +184,18 @@ func (s *Server) handleFeedback(w http.ResponseWriter, req *http.Request) {
 	}
 
 	state, transitions := s.detector.Observe(rec.Model, samples)
+	if s.ctrl != nil {
+		// Proactive control: fold the updated residual evidence into the
+		// model's budget correction (controller.go).
+		_, deg := s.detector.Medians(rec.Model, rec.Phases)
+		s.ctrl.update(rec.Model, deg)
+	}
 	for _, tr := range transitions {
+		if tr.To == feedback.Stale {
+			// Calibration stopped tracking reality: escalate from the drift
+			// response to a full retrain (retrain.go).
+			resp.RetrainStarted = s.maybeRetrain(rec.Model)
+		}
 		if tr.To != feedback.Drifting || !s.autoRecal {
 			continue
 		}
@@ -206,6 +220,9 @@ func (s *Server) handleFeedback(w http.ResponseWriter, req *http.Request) {
 	if promoted {
 		// The evidence windows referred to the now-previous version.
 		s.detector.Reset(rec.Model)
+		if s.ctrl != nil {
+			s.ctrl.reset(rec.Model)
+		}
 		state = s.detector.State(rec.Model)
 	}
 	resp.State = state.String()
@@ -249,10 +266,21 @@ func (s *Server) logFeedback(rec *feedback.DispatchRecord, observations []feedba
 	}
 	for _, o := range observations {
 		smp := byPhase[o.Phase]
+		// Dispatch context rides along so the retrain extractor can
+		// reconstruct training rows from the log alone, long after the
+		// in-memory record is evicted.
+		var levels []int
+		if o.Phase >= 0 && o.Phase < len(rec.Levels) {
+			levels = rec.Levels[o.Phase]
+		}
 		err := s.flog.Append(feedback.Entry{
 			DispatchID:  rec.ID,
 			Model:       rec.Model,
 			Version:     rec.Version,
+			App:         rec.App,
+			Budget:      rec.Budget,
+			Params:      rec.Params,
+			Levels:      levels,
 			Phase:       o.Phase,
 			Speedup:     o.Speedup,
 			Degradation: o.Degradation,
@@ -338,6 +366,9 @@ func (s *Server) handleLifecycleSwap(w http.ResponseWriter, req *http.Request, p
 	}
 	// The evidence gathered so far judged the previous live version.
 	s.detector.Reset(mreq.Model)
+	if s.ctrl != nil {
+		s.ctrl.reset(mreq.Model)
+	}
 	res := lifecycleResult{Model: mreq.Model}
 	for _, st := range s.mgr.Snapshot() {
 		if st.Name == mreq.Model {

@@ -43,6 +43,7 @@ import (
 	"opprox/internal/lifecycle"
 	"opprox/internal/obs"
 	"opprox/internal/qos"
+	"opprox/internal/retrain"
 )
 
 // DefaultTimeout bounds one dispatch request end to end (model load,
@@ -104,6 +105,26 @@ type Options struct {
 	// DefaultCoarseQuantum; negative: no quantization — step 1 computes
 	// misses at their exact budget).
 	CoarseQuantum float64
+	// Retrain enables the online retraining pipeline: POST /v1/retrain
+	// runs it synchronously, and a model flipping to stale triggers a
+	// background run. Requires FeedbackLog (the pipeline replays it).
+	Retrain bool
+	// RetrainOpts tunes retrain runs (min samples, redetect threshold,
+	// holdout fraction, seed); zero value uses retrain defaults.
+	RetrainOpts retrain.Options
+	// Proactive enables the Capri-style proactive controller: between
+	// retrains the confidence-banded model runs open-loop, and observed
+	// degradation residuals feed back as a budget correction on
+	// subsequent dispatches (see controller.go, DESIGN.md §16).
+	Proactive bool
+	// CorrectionQuantum is the grid the budget correction is quantized
+	// onto (0: DefaultCorrectionQuantum) — quantization bounds how many
+	// distinct corrected budgets one client budget can map to, which is
+	// what keeps the plan cache effective under correction.
+	CorrectionQuantum float64
+	// CorrectionMax clamps the correction on the log1p-degradation scale
+	// (0: DefaultCorrectionMax).
+	CorrectionMax float64
 }
 
 // Server answers dispatch requests against a model registry. Create with
@@ -119,6 +140,8 @@ type Server struct {
 	flog      *feedback.Log
 	mgr       *lifecycle.Manager
 	autoRecal bool
+	retrainer *retrain.Retrainer
+	ctrl      *controller
 
 	// Dispatch acceleration: the plan cache answers repeat dispatches
 	// from cached bytes; the batcher coalesces concurrent misses into one
@@ -225,6 +248,33 @@ func New(opts Options) *Server {
 		}
 	}
 	s.mgr = lifecycle.NewManager(reg, pub, lcOpts)
+	if opts.Proactive {
+		s.ctrl = newController(opts.CorrectionQuantum, opts.CorrectionMax)
+	}
+	if opts.Retrain && opts.FeedbackLog != nil {
+		rt, err := retrain.NewRetrainer(retrain.Config{
+			LogPath: opts.FeedbackLog.Path(),
+			Source:  s.mgr,
+			Pub:     s.mgr,
+			Opts:    opts.RetrainOpts,
+			// The extractor backfills dispatch context for log entries
+			// written by older builds from the in-memory record store —
+			// via a copy-on-read snapshot, never under the store's lock.
+			Backfill: func(model string) map[string]*feedback.DispatchRecord {
+				byID := make(map[string]*feedback.DispatchRecord)
+				for _, rec := range s.records.Snapshot() {
+					if rec.Model == model {
+						byID[rec.ID] = rec
+					}
+				}
+				return byID
+			},
+		})
+		if err != nil {
+			panic(err) // both halves are wired above; failure is a programming error
+		}
+		s.retrainer = rt
+	}
 	return s
 }
 
@@ -241,6 +291,7 @@ func (s *Server) Lifecycle() *lifecycle.Manager { return s.mgr }
 //	GET  /v1/models    lifecycle view: versions, health, shadow telemetry
 //	POST /v1/promote   make a model's shadow version live
 //	POST /v1/rollback  restore a model's previous live version
+//	POST /v1/retrain   synchronous telemetry retrain; winner dark-launched as shadow
 //	POST /v1/reload    hot-reload cached models, last-good on failure
 //	GET  /v1/cluster   shard topology: replicas + model ownership
 //	GET  /v1/admission admission/ladder state (POST {"force_step": N} pins it)
@@ -253,6 +304,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/models", s.handleModels)
 	mux.HandleFunc("/v1/promote", s.handlePromote)
 	mux.HandleFunc("/v1/rollback", s.handleRollback)
+	mux.HandleFunc("/v1/retrain", s.handleRetrain)
 	mux.HandleFunc("/v1/reload", s.handleReload)
 	mux.HandleFunc("/v1/cluster", s.handleCluster)
 	mux.HandleFunc("/v1/admission", s.handleAdmission)
@@ -393,6 +445,17 @@ func (s *Server) handleDispatch(w http.ResponseWriter, req *http.Request) {
 	// proxied request is counted exactly once.
 	if !s.admit(w, client, "/v1/dispatch") {
 		return
+	}
+	// Proactive correction (controller.go): the request proceeds with a
+	// tightened budget, and the response body is exactly the full body of
+	// the corrected request — the same idiom as the coarse ladder rung.
+	if s.ctrl != nil {
+		if corr := s.ctrl.correction(dreq.ModelPath); corr > 0 {
+			obs.Inc("serve.controller.corrected")
+			w.Header().Set(correctionHeader, formatCorrection(corr))
+			dreq.Budget = correctedBudget(dreq.Budget, corr)
+			w.Header().Set(correctedBudgetHeader, formatCorrection(dreq.Budget))
+		}
 	}
 
 	ctx, cancel := context.WithTimeout(req.Context(), s.timeout)
@@ -766,6 +829,9 @@ func (s *Server) handleReload(w http.ResponseWriter, req *http.Request) {
 			// A new live version invalidates the drift evidence gathered
 			// against the old one.
 			s.detector.Reset(name)
+			if s.ctrl != nil {
+				s.ctrl.reset(name)
+			}
 		}
 		resp.Reloaded = append(resp.Reloaded, name)
 	}

@@ -8,6 +8,6 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-PR=${PR:-9}
+PR=${PR:-10}
 go run ./cmd/opprox-bench -pr "$PR" "$@"
 echo "wrote BENCH_${PR}.json"

@@ -48,13 +48,19 @@ echo "== opprox-serve shard smoke =="
 # feedback, promote and rollback through a non-owner replica.
 sh scripts/shard-smoke.sh
 
+echo "== opprox-serve retrain smoke =="
+# Drift a model, watch the proactive controller correct budgets, retrain
+# from the rotated telemetry log, auto-promote the retrained shadow,
+# roll back — with no 5xx anywhere in the drill.
+sh scripts/retrain-smoke.sh
+
 # Opt-in perf gate: BENCH=1 re-runs the kernel benchmark set and fails on
 # a >20% ns/op regression against the committed trajectory file. Off by
 # default because benchmark wall time dwarfs the rest of the gate and
 # shared CI machines are noisy.
 if [ "${BENCH:-0}" = "1" ]; then
     echo "== bench regression (>20% ns/op fails) =="
-    go run ./cmd/opprox-bench -against "BENCH_${PR:-9}.json" -max 0.20
+    go run ./cmd/opprox-bench -against "BENCH_${PR:-10}.json" -max 0.20
 fi
 
 echo "check: all green"
